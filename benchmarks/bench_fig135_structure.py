@@ -1,0 +1,86 @@
+"""Figures 1, 3, 5: the architecture block diagrams, as structure checks.
+
+These figures are block diagrams rather than data plots; the bench
+asserts the corresponding simulators are composed of exactly the blocks
+the figures draw, and renders each design's text diagram for
+EXPERIMENTS.md.
+"""
+
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+from repro.ckks.primes import generate_ntt_primes
+from repro.core.accelerator import HeaxAccelerator
+from repro.core.arch import TABLE5_ARCHITECTURES
+from repro.core.mult_module import MultModuleSim
+from repro.core.ntt_module import NTTModuleSim
+
+
+def test_fig1_mult_module_structure(benchmark):
+    """Figure 1: dyadic cores fed by per-component operand banks, one
+    result ME written per cycle, accumulation via read-modify-write."""
+    p = generate_ntt_primes(64, 30, 1)[0]
+    sim = MultModuleSim(Modulus(p), 64, 8)
+    a = list(range(1, 65))
+    b = list(range(2, 66))
+
+    def run():
+        return sim.ciphertext_multiply([a, a], [b, b])
+
+    outs, stats = benchmark(run)
+    # structure: alpha + beta input banks -> alpha + beta - 1 outputs
+    assert stats.alpha == 2 and stats.beta == 2
+    assert stats.output_components == 3
+    # one operand ME pair read and one result ME written per cycle
+    assert stats.me_writes == stats.cycles
+    assert stats.me_reads >= 2 * stats.cycles
+
+
+def test_fig3_ntt_module_structure(benchmark):
+    """Figure 3: data memory, two twiddle memories (Y, Y'), output
+    memory, MUX network bounded by log(2nc), stage/step control."""
+    n, nc = 256, 8
+    p = generate_ntt_primes(n, 30, 1)[0]
+    sim = NTTModuleSim(NTTTables(n, Modulus(p)), nc, record_trace=True)
+
+    def run():
+        import random
+
+        rng = random.Random(0)
+        return sim.run_forward([rng.randrange(p) for _ in range(n)])
+
+    out, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the three memories of the figure exist with the right geometry
+    assert sim.data_memory.depth == n // (2 * nc)
+    assert sim.output_memory.depth == sim.data_memory.depth
+    assert sim.twiddle_layout.lanes == nc  # half the coefficient ME width
+    # last stage writes the output memory, earlier stages are in-place
+    assert sim.output_memory.writes == sim.data_memory.depth
+    # mux network is the customized (log-bounded) one
+    assert sim.mux_fanin_report()["max_fanin"] <= 5
+
+
+def test_fig5_keyswitch_structure(benchmark, emit):
+    """Figure 5: INTT0 -> NTT0 layer -> DyadMult layer (+input module)
+    -> two accumulator bank sets -> INTT1 -> NTT1 -> MS, for every
+    Table 5 design; rendered as the text diagrams of describe()."""
+
+    def build():
+        lines = []
+        for (device, ps), arch in sorted(TABLE5_ARCHITECTURES.items()):
+            acc = HeaxAccelerator(device, ps)
+            lines.append(acc.describe())
+            lines.append("")
+        return "\n".join(lines)
+
+    text = benchmark(build)
+    emit("fig135_structure", text)
+    for arch in TABLE5_ARCHITECTURES.values():
+        # figure structure: exactly one INTT0 module; m0 NTT0 modules;
+        # m0 + 1 DyadMult modules (the +1 is the input-poly module);
+        # two of each in the Modulus-Switch tail.
+        assert arch.intt0[0] == 1
+        assert arch.dyad[0] == arch.ntt0[0] + 1
+        assert arch.intt1[0] == 2
+        assert arch.ntt1[0] == 2
+        assert arch.ms[0] == 2
+    assert "KeySwitch module" in text

@@ -1,0 +1,81 @@
+"""Figure 2: NTT access patterns for Type-1 and Type-2 stages.
+
+Regenerates the figure's content from the simulator's recorded trace:
+which memory elements pair up in each stage, where the Type-1/Type-2
+boundary falls, and that the halving partner distance produces the
+butterfly-diagram structure the figure draws.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+from repro.ckks.primes import generate_ntt_primes
+from repro.core.ntt_module import NTTModuleSim
+
+N, NC = 64, 4
+
+
+def build_access_pattern():
+    p = generate_ntt_primes(N, 30, 1)[0]
+    tables = NTTTables(N, Modulus(p))
+    sim = NTTModuleSim(tables, NC, record_trace=True)
+    rng = random.Random(0)
+    sim.run_forward([rng.randrange(p) for _ in range(N)])
+    rows = []
+    for stage in range(sim.log_n):
+        events = [e for e in sim.trace if e.stage == stage]
+        t = N >> (stage + 1)
+        pairs = "; ".join(
+            "+".join(str(a) for a in e.me_addresses) for e in events[:4]
+        )
+        rows.append([stage, sim.stage_type(t), t, len(events), pairs])
+    return sim, rows
+
+
+def test_fig2_access_pattern(benchmark, emit):
+    sim, rows = benchmark(build_access_pattern)
+    text = render_table(
+        "Figure 2: per-stage ME access pattern (n=64, nc=4)",
+        ["stage", "type", "distance", "steps", "ME pairs (first 4)"],
+        rows,
+        note="Type 1: partners span two MEs; Type 2: within one ME.",
+    )
+    emit("fig2_access_pattern", text)
+    # The figure's structure: Type-1 prefix then Type-2 suffix.
+    types = [r[1] for r in rows]
+    boundary = types.index(2)
+    assert all(t == 1 for t in types[:boundary])
+    assert all(t == 2 for t in types[boundary:])
+    # Paper: first log n - log nc - 1 stages are Type 1.
+    assert boundary == sim.log_n - (NC.bit_length() - 1) - 1
+
+
+def test_fig2_stage0_pairs_halves(benchmark):
+    """Stage 0 pairs x[j] with x[j + n/2] -- the long-range wires."""
+
+    def stage0_distances():
+        sim, _ = build_access_pattern()
+        return {
+            (b - a) * sim.me_width
+            for e in sim.trace
+            if e.stage == 0
+            for a, b in [e.me_addresses]
+        }
+
+    assert benchmark(stage0_distances) == {N // 2}
+
+
+def test_fig2_twiddle_broadcast_in_type1(benchmark):
+    """Type-1 steps consume a single broadcast twiddle (access group i)."""
+
+    def check():
+        sim, _ = build_access_pattern()
+        return all(
+            len(e.twiddle_indices) == 1
+            for e in sim.trace
+            if e.stage_type == 1
+        )
+
+    assert benchmark(check)

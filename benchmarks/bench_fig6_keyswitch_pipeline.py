@@ -1,0 +1,87 @@
+"""Figure 6: the KeySwitch pipeline schedule.
+
+Regenerates the figure's content -- k iterations flowing through
+INTT0 -> NTT0 -> DyadMult with the synchronized input-poly DyadMult,
+the MS tail, and multiple KeySwitch operations in flight -- from the
+module simulator's timeline, and renders it as ASCII occupancy rows.
+"""
+
+from collections import defaultdict
+
+from repro.core.arch import TABLE5_ARCHITECTURES
+from repro.core.keyswitch_module import KeySwitchModuleSim
+
+KEY = ("Stratix10", "Set-B")  # the configuration Figure 6 depicts
+
+
+def build_timeline(bench_context):
+    arch = TABLE5_ARCHITECTURES[KEY]
+    sim = KeySwitchModuleSim(bench_context, arch)
+    return sim, sim.pipeline_timeline(num_ops=3)
+
+
+def render_ascii(timeline, width=72) -> str:
+    end = max(iv.end for iv in timeline)
+    modules = ["INTT0", "NTT0", "DyadMult", "DyadMult(input)", "INTT1", "NTT1", "MS"]
+    lines = [f"Figure 6: KeySwitch pipeline occupancy ({KEY[0]}/{KEY[1]}, 3 ops)"]
+    for mod in modules:
+        row = [" "] * width
+        for iv in timeline:
+            if iv.module != mod:
+                continue
+            a = int(iv.start / end * (width - 1))
+            b = max(a + 1, int(iv.end / end * (width - 1)))
+            ch = str(iv.op_index)
+            for x in range(a, min(b, width)):
+                row[x] = ch
+        lines.append(f"{mod:>16} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def test_fig6_pipeline_occupancy(benchmark, emit, bench_context):
+    sim, timeline = benchmark(build_timeline, bench_context)
+    emit("fig6_keyswitch_pipeline", render_ascii(timeline))
+    # Multiple ops in flight: op 1 starts before op 0 fully drains.
+    op_end = defaultdict(float)
+    op_start = defaultdict(lambda: float("inf"))
+    for iv in timeline:
+        op_end[iv.op_index] = max(op_end[iv.op_index], iv.end)
+        op_start[iv.op_index] = min(op_start[iv.op_index], iv.start)
+    assert op_start[1] < op_end[0]
+    assert op_start[2] < op_end[1]
+
+
+def test_fig6_k_iterations_per_op(benchmark, bench_context):
+    """Each KeySwitch drives k INTT0 slots (the 'k iterations' bracket)."""
+    sim, timeline = build_timeline(bench_context)
+    arch = TABLE5_ARCHITECTURES[KEY]
+
+    def count():
+        return sum(
+            1 for iv in timeline if iv.module == "INTT0" and iv.op_index == 0
+        )
+
+    assert benchmark(count) == arch.k
+
+
+def test_fig6_data_dependencies_need_buffers(benchmark, bench_context):
+    """Data Dependency 1: by the time the last input-poly DyadMult of op 0
+    runs, op 1's input transfer has already begun -> f1 > 1 buffers.
+    The f1/f2 values for this design are 4 and 15."""
+    sim, timeline = build_timeline(bench_context)
+
+    def overlap():
+        last_input_dyad_end = max(
+            iv.end
+            for iv in timeline
+            if iv.module == "DyadMult(input)" and iv.op_index == 0
+        )
+        next_op_start = min(
+            iv.start for iv in timeline if iv.op_index == 1
+        )
+        return next_op_start < last_input_dyad_end
+
+    assert benchmark(overlap)
+    bufs = sim.buffer_requirements()
+    assert bufs["f1_input_poly_buffers"] == 4
+    assert bufs["f2_dyad_output_buffers"] == 15

@@ -1,0 +1,97 @@
+"""Figure 7 + Section 5: system-level dataflow.
+
+Reproduces the quantitative claims around the system diagram:
+
+* the Set-C ksk streaming requirement (151 Mb / 383 us / 49.28 GB/s)
+  and its feasibility on four DDR4 channels but not two;
+* PCIe batching: polynomial-sized messages on eight threads sustain
+  near-peak bandwidth, so transfers hide behind compute (double/quad
+  buffering);
+* the memory-map optimization: DRAM-resident intermediate ciphertexts
+  avoid PCIe round trips.
+"""
+
+import pytest
+
+from repro.analysis.paper_data import SECTION5_KSK_STREAMING
+from repro.analysis.report import render_table
+from repro.core.perf import PerformanceModel
+from repro.system.dram import DramModel, KskStreamingPlan
+from repro.system.pcie import PcieModel, polynomial_bytes
+from repro.system.scheduler import HostScheduler, MemoryMap, ScheduledOp
+
+
+def build_ksk_plan():
+    s = SECTION5_KSK_STREAMING
+    rate = PerformanceModel("Stratix10", 16384, 8).keyswitch_ops_per_sec()
+    plan = KskStreamingPlan(n=s["n"], k=s["k"], keyswitch_ops_per_sec=rate)
+    return plan, plan.summary(DramModel(channels=4))
+
+
+def test_fig7_ksk_streaming_requirement(benchmark, emit):
+    plan, summary = benchmark(build_ksk_plan)
+    paper = SECTION5_KSK_STREAMING
+    text = render_table(
+        "Section 5.1: Set-C ksk DRAM streaming",
+        ["quantity", "model", "paper"],
+        [
+            ["Mb per KeySwitch", round(summary["megabits_per_keyswitch"], 1),
+             f"~{paper['megabits_per_keyswitch_approx']}"],
+            ["budget (us)", round(summary["budget_us"], 1), paper["budget_us"]],
+            ["required GB/s", round(summary["required_gbps"], 2), paper["required_gbps"]],
+            ["available GB/s", round(summary["available_gbps"], 2), "64 peak"],
+        ],
+    )
+    emit("fig7_ksk_streaming", text)
+    assert summary["megabits_per_keyswitch"] == pytest.approx(151, rel=0.01)
+    assert summary["budget_us"] == pytest.approx(383, rel=0.01)
+    assert summary["required_gbps"] == pytest.approx(49.28, rel=0.01)
+    assert summary["feasible"] == 1.0
+    assert not plan.feasible(DramModel(channels=2))
+
+
+def test_fig7_pcie_batching_sustains_peak(benchmark, emit):
+    """Message-size sweep: the paper's >= 1-polynomial rule lands on the
+    flat part of the bandwidth curve."""
+    pcie = PcieModel(15.75e9)
+
+    def sweep():
+        return [
+            (size, round(pcie.utilization(size, threads=8), 3))
+            for size in (1 << 12, 1 << 14, 1 << 15, 1 << 16, 1 << 17, 1 << 20)
+        ]
+
+    rows = benchmark(sweep)
+    text = render_table(
+        "Section 5.2: PCIe utilization vs message size (8 threads)",
+        ["message bytes", "fraction of peak"],
+        rows,
+        note="2^15-2^17 B = one polynomial for Set-A..C.",
+    )
+    emit("fig7_pcie_batching", text)
+    by_size = dict(rows)
+    assert by_size[1 << 15] > 0.9
+    assert by_size[1 << 12] < by_size[1 << 15]
+
+
+def test_fig7_transfer_compute_overlap(benchmark):
+    """Quadruple-buffered KeySwitch stream: compute utilization > 90%."""
+    pcie = PcieModel(15.75e9)
+    sched = HostScheduler(pcie, message_bytes=polynomial_bytes(8192))
+    ks_seconds = 1 / PerformanceModel("Stratix10", 8192, 4).keyswitch_ops_per_sec()
+    ops = [
+        ScheduledOp("keyswitch", 5 * polynomial_bytes(8192), 0, ks_seconds)
+        for _ in range(64)
+    ]
+    report = benchmark.pedantic(sched.run, args=(ops,), rounds=1, iterations=1)
+    assert report.compute_utilization > 0.9
+
+
+def test_fig7_memory_map_saves_pcie(benchmark):
+    """Keeping a Set-B ciphertext in device DRAM saves 2x size per reuse."""
+    mm = MemoryMap(dram_capacity_bytes=64 << 30)
+    ct_bytes = 2 * 4 * polynomial_bytes(8192)
+    mm.store("intermediate", ct_bytes)
+
+    saved = benchmark(mm.saved_pcie_bytes, "intermediate", 10)
+    assert saved == 20 * ct_bytes

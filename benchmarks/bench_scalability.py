@@ -1,0 +1,68 @@
+"""Section 6.3 "Scalability": Arria 10 vs Stratix 10 at the same HE set.
+
+The paper instantiates Set-A on both boards: the Stratix build uses
+(close to) twice the resources and delivers twice the throughput.  The
+bench reproduces both ratios from the resource and performance models.
+"""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE6_DESIGNS, TABLE8_HIGH_LEVEL
+from repro.analysis.report import render_table
+from repro.core.arch import TABLE5_ARCHITECTURES
+from repro.core.perf import PerformanceModel
+from repro.core.resources import ResourceModel
+
+
+def build_scalability():
+    model = ResourceModel()
+    rows = []
+    for device in ("Arria10", "Stratix10"):
+        arch = TABLE5_ARCHITECTURES[(device, "Set-A")]
+        rv = model.complete_design(device, arch)
+        pm = PerformanceModel(device, 4096, 2)
+        rows.append(
+            [device, rv.dsp, arch.total_ntt0_cores,
+             int(pm.keyswitch_ops_per_sec()),
+             TABLE8_HIGH_LEVEL[(device, "Set-A")].keyswitch_heax]
+        )
+    return rows
+
+
+def test_scalability_2x(benchmark, emit):
+    rows = benchmark(build_scalability)
+    text = render_table(
+        "Section 6.3: Set-A at two scales",
+        ["device", "DSP", "NTT0 cores", "KeySwitch/s (model)", "paper"],
+        rows,
+        note="2x cores + 300/275 clock -> 2.18x throughput; the paper "
+        "rounds this to 'twice the throughput'.",
+    )
+    emit("scalability", text)
+    arria, stratix = rows
+    core_ratio = stratix[2] / arria[2]
+    throughput_ratio = stratix[3] / arria[3]
+    assert core_ratio == 2.0
+    assert throughput_ratio == pytest.approx(2 * 300 / 275, rel=1e-3)
+
+
+def test_resource_ratio_close_to_two(benchmark):
+    """Keyswitch-engine DSP roughly doubles Arria -> Stratix at Set-A."""
+    model = ResourceModel()
+
+    def ratio():
+        a = model.keyswitch_resources(TABLE5_ARCHITECTURES[("Arria10", "Set-A")])
+        s = model.keyswitch_resources(TABLE5_ARCHITECTURES[("Stratix10", "Set-A")])
+        return s.dsp / a.dsp
+
+    r = benchmark(ratio)
+    assert 1.8 < r < 2.2
+
+
+def test_paper_reports_same_doubling(benchmark):
+    def paper_ratio():
+        a = TABLE8_HIGH_LEVEL[("Arria10", "Set-A")].keyswitch_heax
+        s = TABLE8_HIGH_LEVEL[("Stratix10", "Set-A")].keyswitch_heax
+        return s / a
+
+    assert benchmark(paper_ratio) == pytest.approx(2.18, abs=0.01)

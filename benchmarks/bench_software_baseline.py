@@ -1,0 +1,103 @@
+"""Measured software baseline: our pure-Python CKKS primitives.
+
+The paper's CPU baseline is C++ SEAL; this repo's software substrate is
+pure Python, so absolute rates are orders slower.  What must (and does)
+survive the translation is the *structure* of the costs:
+
+* NTT time ~ n log n, dyadic time ~ n;
+* KeySwitch dominated by its k INTT + k^2 NTT transforms;
+* MULT+ReLin barely slower than KeySwitch alone.
+
+These measured benches also serve as the performance regression suite
+for the library itself.
+"""
+
+import random
+
+import pytest
+
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.sampling import Sampler
+
+
+@pytest.fixture(scope="module")
+def stack(bench_context):
+    ctx = bench_context
+    kg = KeyGenerator(ctx, seed=1)
+    return {
+        "ctx": ctx,
+        "keygen": kg,
+        "evaluator": Evaluator(ctx),
+        "relin": kg.relin_key(),
+    }
+
+
+def rand_poly(ctx, seed):
+    m = ctx.data_basis[0]
+    rng = random.Random(seed)
+    return [rng.randrange(m.value) for _ in range(ctx.n)]
+
+
+def test_ntt_forward(benchmark, stack):
+    ctx = stack["ctx"]
+    tables = ctx.tables(ctx.data_basis[0])
+    poly = rand_poly(ctx, 1)
+    out = benchmark(tables.forward, poly)
+    assert tables.inverse(out) == poly
+
+
+def test_ntt_inverse(benchmark, stack):
+    ctx = stack["ctx"]
+    tables = ctx.tables(ctx.data_basis[0])
+    poly = tables.forward(rand_poly(ctx, 2))
+    benchmark(tables.inverse, poly)
+
+
+def test_dyadic_product(benchmark, stack):
+    ctx = stack["ctx"]
+    a = Sampler(3).uniform_residues(ctx.n, ctx.data_basis.moduli)
+    b = Sampler(4).uniform_residues(ctx.n, ctx.data_basis.moduli)
+    benchmark(a.dyadic_multiply, b)
+
+
+def test_keyswitch(benchmark, stack):
+    ctx = stack["ctx"]
+    target = Sampler(5).uniform_residues(ctx.n, ctx.data_basis.moduli)
+    benchmark(stack["evaluator"].keyswitch_polynomial, target, stack["relin"])
+
+
+def test_cost_structure_matches_paper_shape(benchmark, stack, emit):
+    """KeySwitch/NTT and Dyadic/NTT cost ratios land in the same regime
+    as the paper's CPU columns (KeySwitch ~ 15-30 NTTs at k=4)."""
+    import time
+
+    ctx = stack["ctx"]
+    tables = ctx.tables(ctx.data_basis[0])
+    poly = rand_poly(ctx, 6)
+    target = Sampler(7).uniform_residues(ctx.n, ctx.data_basis.moduli)
+
+    def measure():
+        t0 = time.perf_counter()
+        for _ in range(4):
+            tables.forward(poly)
+        t_ntt = (time.perf_counter() - t0) / 4
+        t0 = time.perf_counter()
+        stack["evaluator"].keyswitch_polynomial(target, stack["relin"])
+        t_ks = time.perf_counter() - t0
+        return t_ks / t_ntt
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    from repro.analysis.report import render_table
+
+    emit(
+        "software_baseline_shape",
+        render_table(
+            "Software baseline: KeySwitch cost in NTT units (k=4)",
+            ["measured ratio", "paper CPU ratio (Set-B)"],
+            [[round(ratio, 1), round(3437 / 97, 1)]],
+            note="paper: 3437 NTT/s vs 97 KeySwitch/s -> ~35 NTTs; the "
+            "Python baseline must land in the same order of magnitude.",
+        ),
+    )
+    assert 10 < ratio < 80

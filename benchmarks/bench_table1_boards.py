@@ -1,0 +1,45 @@
+"""Table 1: FPGA board specifications.
+
+Pure data, but the bench verifies the derived link-rate quantities the
+rest of the system model consumes (PCIe/DRAM bytes per second) and
+renders the table for EXPERIMENTS.md.
+"""
+
+from repro.analysis.paper_data import TABLE1_BOARDS
+from repro.analysis.report import render_table
+from repro.system.board import get_board
+
+
+def build_table1():
+    rows = []
+    for device, spec in TABLE1_BOARDS.items():
+        board = get_board(device)
+        rows.append(
+            [
+                spec.name,
+                spec.chip,
+                spec.dsp,
+                spec.reg,
+                spec.alm,
+                spec.bram_bits // 1_000_000,
+                spec.m20k,
+                spec.dram_channels,
+                spec.dram_bandwidth_gbps,
+                board.pcie_bytes_per_sec / 1e9,
+            ]
+        )
+    return rows
+
+
+def test_table1_reproduction(benchmark, emit):
+    rows = benchmark(build_table1)
+    text = render_table(
+        "Table 1: FPGA boards",
+        ["board", "chip", "DSP", "REG", "ALM", "BRAM Mb", "M20K", "DRAM chnl", "DRAM GB/s", "PCIe GB/s"],
+        rows,
+    )
+    emit("table1_boards", text)
+    assert len(rows) == 2
+    # Derived quantities used downstream.
+    assert get_board("Stratix10").dram_bytes_per_sec == 64e9
+    assert get_board("Arria10").pcie_bytes_per_sec == 7.88e9

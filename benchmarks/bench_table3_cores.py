@@ -1,0 +1,69 @@
+"""Table 3: per-core resource consumption and pipeline depth.
+
+The core specs are the resource model's atoms; the bench confirms them
+and exercises one functional butterfly/dyadic op per core type so the
+numbers are attached to working datapaths, not just constants.
+"""
+
+import random
+
+from repro.analysis.paper_data import TABLE3_CORES
+from repro.analysis.report import render_table
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+from repro.ckks.primes import generate_ntt_primes
+from repro.core.cores import CORE_SPECS, DyadicCore, INTTCore, NTTCore
+
+N = 64
+P = generate_ntt_primes(N, 30, 1)[0]
+
+
+def build_table3():
+    rows = []
+    for key in ("dyadic", "ntt", "intt"):
+        spec = CORE_SPECS[key]
+        paper = TABLE3_CORES[key]
+        rows.append(
+            [spec.name, spec.dsp, spec.reg, spec.alm, spec.pipeline_stages,
+             paper.dsp, paper.reg, paper.alm, paper.stages]
+        )
+    return rows
+
+
+def test_table3_reproduction(benchmark, emit):
+    rows = benchmark(build_table3)
+    text = render_table(
+        "Table 3: computation cores (ours vs paper)",
+        ["core", "DSP", "REG", "ALM", "stages", "pDSP", "pREG", "pALM", "pstages"],
+        rows,
+    )
+    emit("table3_cores", text)
+    for row in rows:
+        assert row[1:5] == row[5:9]
+
+
+def test_dyadic_core_throughput(benchmark):
+    """One dyadic product per call -- the datapath behind the DSP count."""
+    core = DyadicCore(Modulus(P))
+    rng = random.Random(0)
+    a, b = rng.randrange(P), rng.randrange(P)
+    result = benchmark(core.compute, a, b)
+    assert result == a * b % P
+
+
+def test_ntt_core_butterfly(benchmark):
+    core = NTTCore(Modulus(P))
+    tables = NTTTables(N, Modulus(P))
+    w = tables.root_powers[3]
+    out = benchmark(core.butterfly, 123, 456, w)
+    assert out == ((123 + w.value * 456) % P, (123 - w.value * 456) % P)
+
+
+def test_intt_core_butterfly(benchmark):
+    core = INTTCore(Modulus(P))
+    tables = NTTTables(N, Modulus(P))
+    w = tables.inv_root_powers_div2[3]
+    hi, lo = benchmark(core.butterfly, 123, 456, w)
+    m = Modulus(P)
+    assert hi == m.div2(m.add(123, 456))
+    assert lo == w.mul(m.sub(123, 456))

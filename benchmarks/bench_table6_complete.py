@@ -1,0 +1,84 @@
+"""Table 6: complete-design resource utilization.
+
+Composes each full HEAX instance (KeySwitch architecture + standalone
+MULT + shell) through the resource model and compares with the paper:
+
+* DSP -- structural composition, exact for 3 of 4 rows (Set-C is 2.5%
+  under; the paper likely provisioned spare dyadic cores there).
+* REG/ALM -- within ~10% for Stratix rows (module data in Table 4 is
+  Stratix synthesis); Arria overshoots, recorded as a model limit.
+* BRAM -- modelled structurally with the resident-key count as the free
+  parameter the paper does not state (EXPERIMENTS.md).
+"""
+
+from repro.analysis.paper_data import TABLE6_DESIGNS
+from repro.analysis.report import render_table, shape_preserved
+from repro.core.arch import TABLE5_ARCHITECTURES
+from repro.core.resources import ResourceModel
+
+
+def build_table6():
+    model = ResourceModel()
+    rows = []
+    for key, paper in sorted(TABLE6_DESIGNS.items()):
+        arch = TABLE5_ARCHITECTURES[key]
+        rv = model.complete_design(key[0], arch)
+        rows.append(
+            ["/".join(key), rv.dsp, paper.dsp, rv.reg, paper.reg,
+             rv.alm, paper.alm, rv.bram_bits // 1_000_000,
+             paper.bram_bits // 1_000_000, paper.freq_mhz]
+        )
+    return rows
+
+
+def test_table6_reproduction(benchmark, emit):
+    rows = benchmark(build_table6)
+    text = render_table(
+        "Table 6: complete designs (model vs paper)",
+        ["config", "DSP", "pDSP", "REG", "pREG", "ALM", "pALM",
+         "BRAM Mb", "pBRAM Mb", "MHz"],
+        rows,
+        note="REG/ALM calibrated from Stratix synthesis (Table 4); BRAM "
+        "model assumes one resident key-switching key.",
+    )
+    emit("table6_complete", text)
+    for row in rows:
+        assert abs(row[1] - row[2]) / row[2] < 0.03  # DSP within 3%
+    # Shape preservation: resource ordering across configs must match.
+    assert shape_preserved([r[2] for r in rows], [r[1] for r in rows])
+    assert shape_preserved([r[6] for r in rows], [r[5] for r in rows])
+
+
+def test_every_design_fits_its_board(benchmark):
+    model = ResourceModel()
+
+    def check():
+        out = {}
+        for key in TABLE6_DESIGNS:
+            rv = model.complete_design(key[0], TABLE5_ARCHITECTURES[key])
+            util = rv.utilization(key[0])
+            out[key] = max(util["dsp"], util["alm"], util["reg"])
+        return out
+
+    worst = benchmark(check)
+    for key, frac in worst.items():
+        assert frac <= 1.0, f"{key} does not fit"
+
+
+def test_bram_pressure_ordering(benchmark, emit):
+    """Set-B is the most BRAM-hungry config (84%/88% in the paper):
+    n = 2^13 with everything (keys included) on chip; Set-C moves keys
+    to DRAM.  The model must reproduce Set-B > Set-A pressure."""
+    model = ResourceModel()
+
+    def pressures():
+        out = {}
+        for key in TABLE6_DESIGNS:
+            # Set-C keeps ksk in DRAM (resident_ksks=0); others on chip.
+            resident = 0 if key[1] == "Set-C" else 1
+            rv = model.complete_design(key[0], TABLE5_ARCHITECTURES[key], resident_ksks=resident)
+            out[key] = rv.utilization(key[0])["bram_bits"]
+        return out
+
+    p = benchmark(pressures)
+    assert p[("Stratix10", "Set-B")] > p[("Stratix10", "Set-A")]

@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper:
+it regenerates the numbers from the models/simulators, renders a
+paper-vs-measured comparison, writes it to ``benchmarks/results/`` and
+asserts the reproduction criteria (exact for deterministic quantities,
+shape/tolerance for modelled ones).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+rendered tables inline, or read them from the results directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.ckks.context import CkksContext, toy_parameters
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered table and persist it under results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_context() -> CkksContext:
+    """Small functional context used by simulator benchmarks."""
+    return CkksContext(toy_parameters(n=256, k=4, prime_bits=30))
+
+
+@pytest.fixture(scope="session")
+def paper_scale_context() -> CkksContext:
+    """Set-A-sized ring (n = 4096, k = 2) with reduced prime bits so the
+    pure-Python software baseline stays measurable."""
+    return CkksContext(toy_parameters(n=4096, k=2, prime_bits=30))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Explore the HEAX KeySwitch design space from the command line.
+
+Given a ring size, RNS count and a DSP budget, derives balanced
+KeySwitch architectures (Section 4.3 equations), estimates resources,
+checks board fit, and prints the throughput/cost frontier with the
+paper's Table 5 choice highlighted.
+
+Run:  python examples/design_explorer.py [--n 8192] [--k 4] [--device Stratix10]
+"""
+
+import argparse
+
+from repro.analysis.report import render_table
+from repro.core.arch import (
+    TABLE5_ARCHITECTURES,
+    choose_module_split,
+    derive_architecture,
+)
+from repro.core.perf import CLOCK_HZ, keyswitch_cycles
+from repro.core.resources import ResourceModel
+
+
+def explore(n: int, k: int, device: str):
+    model = ResourceModel()
+    clock = CLOCK_HZ[device]
+    rows = []
+    paper_points = {
+        (a.n, a.k, a.nc_intt0): key
+        for key, a in TABLE5_ARCHITECTURES.items()
+        if key[0] == device
+    }
+    for nc_intt0 in (2, 4, 8, 16, 32):
+        total = k * nc_intt0
+        m0 = choose_module_split(total)
+        arch = derive_architecture(f"explore-{nc_intt0}", n, k, nc_intt0, m0)
+        rate = clock / keyswitch_cycles(n, k, nc_intt0)
+        rv = model.complete_design(device, arch)
+        fits = rv.fits(device)
+        marker = "<- Table 5" if (n, k, nc_intt0) in paper_points else ""
+        rows.append(
+            [
+                nc_intt0,
+                arch.describe(),
+                int(rate),
+                rv.dsp,
+                f"{rv.utilization(device)['dsp']:.0%}",
+                "yes" if fits else "NO",
+                marker,
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8192, help="ring degree")
+    parser.add_argument("--k", type=int, default=4, help="RNS components of q")
+    parser.add_argument(
+        "--device", choices=sorted(CLOCK_HZ), default="Stratix10"
+    )
+    args = parser.parse_args()
+
+    rows = explore(args.n, args.k, args.device)
+    print(
+        render_table(
+            f"KeySwitch design space: n={args.n}, k={args.k} on {args.device}",
+            ["ncINTT0", "layout", "KeySwitch/s", "DSP", "DSP util", "fits", ""],
+            rows,
+        )
+    )
+    print(
+        "\nthroughput doubles with ncINTT0; pick the largest point that "
+        "fits the board and your BRAM/key-residency needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

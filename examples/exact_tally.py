@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Exact encrypted tallying with the BFV baseline scheme.
+
+CKKS computes on *approximate* reals; the BFV scheme in ``repro.bfv``
+(the scheme every prior accelerator in the paper's related work targets)
+computes *exactly* on integers mod t.  This example runs a private
+survey tally: each respondent submits an encrypted one-hot ballot, the
+server homomorphically sums them and computes weighted scores, and the
+authority decrypts exact counts -- no floating-point drift.
+
+Run:  python examples/exact_tally.py
+"""
+
+from repro.bfv import (
+    BfvContext,
+    BfvDecryptor,
+    BfvEncoder,
+    BfvEncryptor,
+    BfvEvaluator,
+    BfvKeyGenerator,
+)
+from repro.bfv.scheme import toy_bfv_parameters
+
+OPTIONS = ["apples", "bananas", "cherries", "dates"]
+
+
+def main() -> None:
+    context = BfvContext(toy_bfv_parameters(n=64))
+    keygen = BfvKeyGenerator(context, seed=77)
+    encoder = BfvEncoder(context)
+    encryptor = BfvEncryptor(context, keygen.public_key(), seed=78)
+    decryptor = BfvDecryptor(context, keygen.secret)
+    evaluator = BfvEvaluator(context)
+    print(f"BFV: n={context.n}, t={context.t}, log2(q)={context.q.bit_length()}")
+
+    # ------------------------------------------------------------------
+    # Respondents: one-hot encrypted ballots (slot i = option i).
+    # ------------------------------------------------------------------
+    votes = [0, 2, 1, 0, 3, 0, 2, 2, 1, 0, 3, 2]  # 12 respondents
+    ballots = []
+    for v in votes:
+        one_hot = [1 if i == v else 0 for i in range(len(OPTIONS))]
+        ballots.append(encryptor.encrypt(encoder.encode(one_hot)))
+    print(f"collected {len(ballots)} encrypted ballots")
+
+    # ------------------------------------------------------------------
+    # Server: homomorphic sum -> per-option counts, then a weighted
+    # popularity score (counts * weights) via plaintext multiplication.
+    # ------------------------------------------------------------------
+    tally = ballots[0]
+    for b in ballots[1:]:
+        tally = evaluator.add(tally, b)
+    weights = [3, 1, 4, 2]
+    scored = evaluator.multiply_plain(tally, encoder.encode(weights))
+
+    budget = decryptor.noise_budget_bits(scored)
+    print(f"noise budget after tally + weighting: {budget:.1f} bits")
+
+    # ------------------------------------------------------------------
+    # Authority: decrypt exact counts and scores.
+    # ------------------------------------------------------------------
+    counts = encoder.decode(decryptor.decrypt(tally))[: len(OPTIONS)]
+    scores = encoder.decode(decryptor.decrypt(scored))[: len(OPTIONS)]
+    expected_counts = [votes.count(i) for i in range(len(OPTIONS))]
+    for name, c, s, w in zip(OPTIONS, counts, scores, weights):
+        print(f"  {name:9s} count={c:2d}  weighted score={s:3d} (= {c} x {w})")
+    assert counts == expected_counts
+    assert scores == [c * w for c, w in zip(expected_counts, weights)]
+    assert budget > 0
+    print("exact tally verified -- no approximation error anywhere")
+
+
+if __name__ == "__main__":
+    main()

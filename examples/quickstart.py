@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypt, compute, decrypt with the CKKS library.
+
+Walks the full client/server story of the paper's introduction:
+
+1. the *client* encodes and encrypts a vector;
+2. the *server* (which never sees the secret key) multiplies, adds,
+   relinearizes, rescales, and rotates ciphertexts;
+3. the client decrypts and checks the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksContext,
+    CkksEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+from repro.ckks.context import toy_parameters
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Setup.  toy_parameters keeps the demo fast; swap in repro.ckks.SET_A
+    # (n = 4096, the paper's smallest secure set) for real parameters.
+    # ------------------------------------------------------------------
+    params = toy_parameters(n=256, k=3, prime_bits=30, scale=2.0**28)
+    context = CkksContext(params)
+    print(f"context: {context}")
+
+    keygen = KeyGenerator(context, seed=2024)
+    encoder = CkksEncoder(context)
+    encryptor = Encryptor(context, keygen.public_key(), seed=7)
+    decryptor = Decryptor(context, keygen.secret_key)
+    evaluator = Evaluator(context)
+    relin_key = keygen.relin_key()
+    galois_keys = keygen.galois_keys([1], conjugation=False)
+
+    # ------------------------------------------------------------------
+    # Client side: encode + encrypt.
+    # ------------------------------------------------------------------
+    x = np.array([1.5, -2.0, 3.25, 0.5])
+    y = np.array([0.5, 4.0, -1.0, 2.0])
+    ct_x = encryptor.encrypt(encoder.encode(x))
+    ct_y = encryptor.encrypt(encoder.encode(y))
+    print(f"encrypted two vectors into {ct_x!r}")
+
+    # ------------------------------------------------------------------
+    # Server side: compute on ciphertexts only.
+    # ------------------------------------------------------------------
+    ct_sum = evaluator.add(ct_x, ct_y)
+    ct_prod = evaluator.multiply(ct_x, ct_y)  # size-3 ciphertext
+    ct_prod = evaluator.relinearize(ct_prod, relin_key)  # back to size 2
+    ct_prod = evaluator.rescale(ct_prod)  # scale back down, drop one prime
+    ct_rot = evaluator.rotate(ct_x, 1, galois_keys)  # slots shift left by 1
+
+    # ------------------------------------------------------------------
+    # Client side: decrypt + decode.
+    # ------------------------------------------------------------------
+    dec = lambda ct, k=4: encoder.decode(decryptor.decrypt(ct)).real[:k]
+    # Rotation acts on all n/2 slots, so the zero padding rotates in:
+    # slot 3 of rot(x, 1) holds original slot 4, which is 0.
+    x_padded = np.zeros(encoder.slot_count)
+    x_padded[: len(x)] = x
+    rot_expected = np.roll(x_padded, -1)[:4]
+    print(f"x + y      = {dec(ct_sum)}   (expected {x + y})")
+    print(f"x * y      = {dec(ct_prod)}   (expected {x * y})")
+    print(f"rot(x, 1)  = {dec(ct_rot)}   (expected {rot_expected})")
+
+    assert np.allclose(dec(ct_sum), x + y, atol=1e-2)
+    assert np.allclose(dec(ct_prod), x * y, atol=1e-2)
+    assert np.allclose(dec(ct_rot), rot_expected, atol=1e-2)
+    print("all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of HEAX (Riazi et al., ASPLOS 2020).
+
+Subpackages
+-----------
+``repro.ckks``
+    Full-RNS CKKS homomorphic encryption (the SEAL-like substrate and
+    golden model).
+``repro.core``
+    The HEAX accelerator: functional + cycle-accurate simulators of the
+    NTT/INTT, MULT and KeySwitch modules, resource and performance models.
+``repro.system``
+    Board, PCIe, DRAM, host-scheduler and CPU-baseline models.
+``repro.analysis``
+    Paper table data and report rendering for the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ckks", "core", "system", "analysis"]

@@ -1,0 +1,6 @@
+"""Paper data records and report rendering for the benchmark harness."""
+
+from repro.analysis import paper_data
+from repro.analysis.report import comparison_table, render_table
+
+__all__ = ["paper_data", "comparison_table", "render_table"]

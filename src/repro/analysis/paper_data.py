@@ -1,0 +1,305 @@
+"""Every number reported in the HEAX paper's Tables 1-8, as typed records.
+
+This module is pure data: the benchmark harness compares model/simulator
+outputs against these values, and the resource model calibrates its
+module-level REG/ALM estimates from Table 4.
+
+Known typos in the printed paper (see DESIGN.md section 5):
+
+* Table 4, MULT rows for 16/32 cores print 128/64 cycles; the consistent
+  model (``n / nc`` at n = 2^12, confirmed by Table 7) gives 256/128.
+  Both values are recorded (``cycles`` as printed, ``cycles_model``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Table 1: FPGA board specifications
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    name: str
+    chip: str
+    dsp: int
+    reg: int
+    alm: int
+    bram_bits: int
+    m20k: int
+    dram_channels: int
+    dram_bandwidth_gbps: float  # aggregate, GB/s
+    dram_gb: int
+    pcie_lanes: int
+    pcie_gbps: float  # per direction, GB/s
+    clock_hz: float
+
+
+TABLE1_BOARDS: Dict[str, BoardSpec] = {
+    "Arria10": BoardSpec(
+        name="Board-A",
+        chip="Arria 10 GX 1150",
+        dsp=1518,
+        reg=1_710_000,
+        alm=427_000,
+        bram_bits=53_000_000,
+        m20k=2700,
+        dram_channels=2,
+        dram_bandwidth_gbps=34.0,
+        dram_gb=4,
+        pcie_lanes=8,
+        pcie_gbps=7.88,
+        clock_hz=275e6,
+    ),
+    "Stratix10": BoardSpec(
+        name="Board-B",
+        chip="Stratix 10 GX 2800",
+        dsp=5760,
+        reg=3_730_000,
+        alm=933_000,
+        bram_bits=229_000_000,
+        m20k=11_700,
+        dram_channels=4,
+        dram_bandwidth_gbps=64.0,
+        dram_gb=64,
+        pcie_lanes=16,
+        pcie_gbps=15.75,
+        clock_hz=300e6,
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Table 2: HE parameter sets
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSetSpec:
+    name: str
+    n: int
+    log_qp_plus1: int
+    k: int
+
+
+TABLE2_PARAM_SETS: Dict[str, ParamSetSpec] = {
+    "Set-A": ParamSetSpec("Set-A", 4096, 109, 2),
+    "Set-B": ParamSetSpec("Set-B", 8192, 218, 4),
+    "Set-C": ParamSetSpec("Set-C", 16384, 438, 8),
+}
+
+# ----------------------------------------------------------------------
+# Table 3: per-core resources and pipeline depth
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreResourceSpec:
+    name: str
+    dsp: int
+    reg: int
+    alm: int
+    stages: int
+
+
+TABLE3_CORES: Dict[str, CoreResourceSpec] = {
+    "dyadic": CoreResourceSpec("Dyadic", 22, 4526, 1663, 23),
+    "ntt": CoreResourceSpec("NTT", 10, 6297, 2066, 50),
+    "intt": CoreResourceSpec("INTT", 10, 5449, 2119, 49),
+}
+
+# ----------------------------------------------------------------------
+# Table 4: basic module resources (BRAM columns reported for Set-B),
+# cycle column reported for n = 2^12.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModuleResourceRow:
+    module: str
+    cores: int
+    dsp: int
+    reg: int
+    alm: int
+    bram_bits: Optional[int]
+    m20k: Optional[int]
+    cycles: Optional[int]  # as printed
+    cycles_model: Optional[int]  # n / nc or n log n / (2 nc) at n = 2^12
+
+
+TABLE4_MODULES: Dict[Tuple[str, int], ModuleResourceRow] = {
+    ("mult", 4): ModuleResourceRow("MULT", 4, 88, 42817, 15795, 1_104_384, 65, 1024, 1024),
+    ("mult", 8): ModuleResourceRow("MULT", 8, 176, 61878, 22160, 1_104_384, 65, 512, 512),
+    ("mult", 16): ModuleResourceRow("MULT", 16, 352, 93594, 35257, 1_104_384, 164, 128, 256),
+    ("mult", 32): ModuleResourceRow("MULT", 32, 704, 181503, 62157, 1_104_384, 293, 64, 128),
+    ("ntt", 4): ModuleResourceRow("NTT", 4, 40, 61670, 22316, 1_514_496, 86, 6144, 6144),
+    ("ntt", 8): ModuleResourceRow("NTT", 8, 80, 96919, 36336, 1_514_496, 185, 3072, 3072),
+    ("ntt", 16): ModuleResourceRow("NTT", 16, 160, 196205, 67865, 1_514_496, 380, 1536, 1536),
+    ("ntt", 32): ModuleResourceRow("NTT", 32, 320, 387357, 142300, 1_514_496, 725, 768, 768),
+    ("intt", 4): ModuleResourceRow("INTT", 4, 40, 63917, 22700, 1_514_496, 86, 6144, 6144),
+    ("intt", 8): ModuleResourceRow("INTT", 8, 80, 104575, 37331, 1_514_496, 185, 3072, 3072),
+    ("intt", 16): ModuleResourceRow("INTT", 16, 160, 182478, 68645, 1_514_496, 380, 1536, 1536),
+    ("intt", 32): ModuleResourceRow("INTT", 32, 320, 384267, 144957, 1_514_496, 724, 768, 768),
+}
+
+
+@dataclass(frozen=True)
+class ShellSpec:
+    device: str
+    dsp: int
+    reg: int
+    alm: int
+    bram_bits: int
+    m20k: int
+
+
+TABLE4_SHELLS: Dict[str, ShellSpec] = {
+    "Arria10": ShellSpec("Arria10", 1, 79203, 39222, 886_496, 144),
+    "Stratix10": ShellSpec("Stratix10", 2, 86984, 45612, 1_201_096, 173),
+}
+
+# ----------------------------------------------------------------------
+# Table 5: KeySwitch architecture parameter sets (encoded in
+# repro.core.arch.TABLE5_ARCHITECTURES; duplicated here as plain tuples
+# for the data-only view used by reports).
+# ----------------------------------------------------------------------
+
+TABLE5_LAYOUTS: Dict[Tuple[str, str], str] = {
+    ("Arria10", "Set-A"): "1xINTT(8) -> 2xNTT(8) -> 3xDyad(4) -> 2xINTT(4) -> 2xNTT(8) -> 2xMult(2)",
+    ("Stratix10", "Set-A"): "1xINTT(16) -> 2xNTT(16) -> 3xDyad(8) -> 2xINTT(8) -> 2xNTT(16) -> 2xMult(4)",
+    ("Stratix10", "Set-B"): "1xINTT(16) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(4) -> 2xNTT(16) -> 2xMult(4)",
+    ("Stratix10", "Set-C"): "1xINTT(8) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(1) -> 2xNTT(8) -> 2xMult(4)",
+}
+
+# ----------------------------------------------------------------------
+# Table 6: complete-design resource consumption
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignUtilizationRow:
+    device: str
+    param_set: str
+    dsp: int
+    dsp_pct: int
+    reg: int
+    reg_pct: int
+    alm: int
+    alm_pct: int
+    bram_bits: int
+    bram_bits_pct: int
+    m20k: int
+    m20k_pct: int
+    freq_mhz: int
+
+
+TABLE6_DESIGNS: Dict[Tuple[str, str], DesignUtilizationRow] = {
+    ("Arria10", "Set-A"): DesignUtilizationRow(
+        "Arria10", "Set-A", 1185, 78, 723188, 42, 246323, 58,
+        26_596_320, 48, 1731, 64, 275,
+    ),
+    ("Stratix10", "Set-A"): DesignUtilizationRow(
+        "Stratix10", "Set-A", 2018, 35, 1_554_005, 42, 582148, 62,
+        26_907_592, 11, 3986, 34, 300,
+    ),
+    ("Stratix10", "Set-B"): DesignUtilizationRow(
+        "Stratix10", "Set-B", 2610, 45, 1_976_162, 53, 698884, 75,
+        201_332_624, 84, 10340, 88, 300,
+    ),
+    ("Stratix10", "Set-C"): DesignUtilizationRow(
+        "Stratix10", "Set-C", 2370, 41, 1_746_384, 47, 599715, 64,
+        182_847_524, 76, 9329, 80, 300,
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Table 7: low-level operation throughput (ops/second)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LowLevelPerfRow:
+    device: str
+    param_set: str
+    ntt_cpu: int
+    ntt_heax: int
+    ntt_speedup: float
+    intt_cpu: int
+    intt_heax: int
+    intt_speedup: float
+    dyadic_cpu: int
+    dyadic_heax: int
+    dyadic_speedup: float
+
+
+TABLE7_LOW_LEVEL: Dict[Tuple[str, str], LowLevelPerfRow] = {
+    ("Arria10", "Set-A"): LowLevelPerfRow(
+        "Arria10", "Set-A", 7222, 89518, 12.4, 7568, 89518, 11.8,
+        36931, 1_074_219, 29.1,
+    ),
+    ("Stratix10", "Set-A"): LowLevelPerfRow(
+        "Stratix10", "Set-A", 7222, 195_313, 27.0, 7568, 195_313, 25.8,
+        36931, 1_171_875, 31.7,
+    ),
+    ("Stratix10", "Set-B"): LowLevelPerfRow(
+        "Stratix10", "Set-B", 3437, 90144, 26.2, 3539, 90144, 25.5,
+        18362, 585_938, 31.9,
+    ),
+    ("Stratix10", "Set-C"): LowLevelPerfRow(
+        "Stratix10", "Set-C", 1631, 41853, 25.7, 1659, 41853, 25.2,
+        9117, 292_969, 32.1,
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Table 8: high-level operation throughput (ops/second)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HighLevelPerfRow:
+    device: str
+    param_set: str
+    keyswitch_cpu: int
+    keyswitch_heax: int
+    keyswitch_speedup: float
+    multrelin_cpu: int
+    multrelin_heax: int
+    multrelin_speedup: float
+
+
+TABLE8_HIGH_LEVEL: Dict[Tuple[str, str], HighLevelPerfRow] = {
+    ("Arria10", "Set-A"): HighLevelPerfRow(
+        "Arria10", "Set-A", 488, 44759, 91.7, 420, 44759, 106.6,
+    ),
+    ("Stratix10", "Set-A"): HighLevelPerfRow(
+        "Stratix10", "Set-A", 488, 97656, 200.5, 420, 97656, 232.5,
+    ),
+    ("Stratix10", "Set-B"): HighLevelPerfRow(
+        "Stratix10", "Set-B", 97, 22536, 232.3, 84, 22536, 268.3,
+    ),
+    ("Stratix10", "Set-C"): HighLevelPerfRow(
+        "Stratix10", "Set-C", 16, 2616, 163.5, 15, 2616, 174.4,
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Section 5.1 arithmetic: Set-C ksk DRAM streaming requirement
+# ----------------------------------------------------------------------
+
+#: "Each of these sets hold k*(k+1) vectors of size n ... ≈ 151 Mb ...
+#: in 383 microseconds -> bandwidth >= 49.28 GBps".
+SECTION5_KSK_STREAMING = {
+    "n": 16384,
+    "k": 8,
+    "word_bits": 64,
+    "ksk_sets": 2,
+    "megabits_per_keyswitch_approx": 151,  # both ksk column sets combined
+    "budget_us": 383,
+    "required_gbps": 49.28,
+}
+
+#: Headline claim (abstract / Section 6.3): Stratix 10 speedup range.
+HEADLINE_SPEEDUP_RANGE = (164, 268)

@@ -1,0 +1,45 @@
+"""The BFV scheme -- the baseline of the paper's related-work comparison.
+
+Every prior FPGA accelerator HEAX compares against (Roy et al. HPCA'19,
+HEPCloud, the co-processor line) targets the BFV *exact* scheme, not
+CKKS.  This package implements textbook BFV on the same substrate
+(:mod:`repro.ckks.ntt`, :mod:`repro.ckks.rns`, :mod:`repro.ckks.primes`)
+so the repository contains both schemes:
+
+* BFV keeps ciphertexts modulo a big integer ``q`` and scales plaintexts
+  by ``Δ = floor(q / t)``; homomorphic multiplication tensors the
+  ciphertexts over the *integers* and rounds by ``t/q`` -- the
+  multi-precision arithmetic that made pre-RNS hardware hard, and the
+  contrast the paper draws when motivating its full-RNS CKKS design.
+* Batching packs ``n`` integers mod ``t`` via an NTT over the plaintext
+  modulus (``t`` prime, ``t ≡ 1 mod 2n``).
+
+The exact integer tensoring is carried out with an extended RNS basis
+(enough NTT primes to bound ``n q^2``), i.e. the same CRT machinery the
+accelerator exploits -- demonstrating the paper's Section 2 claim that
+RNS is what makes the hardware (and this software) tractable.
+"""
+
+from repro.bfv.scheme import (
+    BfvContext,
+    BfvDecryptor,
+    BfvEncoder,
+    BfvEncryptor,
+    BfvEvaluator,
+    BfvKeyGenerator,
+    BfvParameters,
+    BfvPlaintext,
+    BfvCiphertext,
+)
+
+__all__ = [
+    "BfvContext",
+    "BfvDecryptor",
+    "BfvEncoder",
+    "BfvEncryptor",
+    "BfvEvaluator",
+    "BfvKeyGenerator",
+    "BfvParameters",
+    "BfvPlaintext",
+    "BfvCiphertext",
+]

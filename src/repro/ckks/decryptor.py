@@ -1,0 +1,56 @@
+"""Decryption: ``CKKS.Dec(ct, sk) = <ct, (1, s, s^2, ...)> mod q_l``.
+
+Handles ciphertexts of any size (un-relinearized products included) by
+accumulating successive powers of ``s`` in the NTT domain.
+"""
+
+from __future__ import annotations
+
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import SecretKey
+from repro.ckks.poly import Ciphertext, Plaintext
+
+
+class Decryptor:
+    """Decrypts ciphertexts with the secret key."""
+
+    def __init__(self, context: CkksContext, secret_key: SecretKey):
+        self.context = context
+        self.secret_key = secret_key
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Return the plaintext ``c0 + c1 s + c2 s^2 + ...`` (NTT form)."""
+        if not ciphertext.is_ntt:
+            raise ValueError("ciphertexts are kept in NTT form")
+        s = self.secret_key.restricted(ciphertext.moduli)
+        acc = ciphertext.polys[0].clone()
+        s_power = None
+        for poly in ciphertext.polys[1:]:
+            s_power = s if s_power is None else s_power.dyadic_multiply(s)
+            acc = acc.add(poly.dyadic_multiply(s_power))
+        return Plaintext(acc, ciphertext.scale)
+
+    def invariant_noise_budget_proxy(self, ciphertext: Ciphertext, reference: Plaintext) -> float:
+        """Crude decibel-style proxy of remaining precision.
+
+        Returns ``log2(q_l) - log2(max |error coefficient|)`` where the
+        error is the decryption of ``ct`` minus ``reference``; useful for
+        noise-growth tests without committing to a full noise estimator.
+        """
+        import math
+
+        from repro.ckks.rns import RnsBasis
+
+        ctx = self.context
+        dec = self.decrypt(ciphertext)
+        diff = dec.poly.sub(reference.poly)
+        coeff = ctx.from_ntt(diff) if diff.is_ntt else diff
+        basis = RnsBasis(coeff.moduli)
+        max_err = 0
+        for i in range(coeff.n):
+            v = abs(basis.compose_centered([coeff.residues[j][i] for j in range(len(coeff.moduli))]))
+            if v > max_err:
+                max_err = v
+        q_bits = math.log2(basis.product)
+        err_bits = math.log2(max_err) if max_err else 0.0
+        return q_bits - err_bits

@@ -1,0 +1,289 @@
+"""Server-side evaluation primitives -- the operations HEAX accelerates.
+
+* ``add`` / ``sub``                      -- CKKS.Add (Section 3.2)
+* ``multiply``                           -- Algorithm 5 (dyadic, size α+β-1)
+* ``multiply_plain`` / ``add_plain``     -- ciphertext-plaintext variants
+* ``rescale``                            -- Algorithm 6 (RNS flooring)
+* ``keyswitch_polynomial``               -- Algorithm 7 (the KeySwitch core)
+* ``relinearize``                        -- CKKS.Relin (keyswitch of c2)
+* ``rotate`` / ``conjugate``             -- Galois automorphism + KeySwitch
+
+All ciphertext polynomials are kept in RNS + NTT form throughout, exactly
+as in SEAL/HEAX; the only INTT/NTT conversions happen inside KeySwitch and
+rescaling, mirroring the hardware dataflow of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
+from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
+
+#: Relative tolerance when requiring two operands' scales to match.
+SCALE_RTOL = 1e-9
+
+
+class Evaluator:
+    """Implements every homomorphic operation of Section 3."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # scale/level discipline
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_scales(a: float, b: float) -> None:
+        if abs(a - b) > SCALE_RTOL * max(a, b):
+            raise ValueError(
+                f"scale mismatch: {a:g} vs {b:g}; rescale/encode to align"
+            )
+
+    @staticmethod
+    def _check_levels(a: Ciphertext, b) -> None:
+        if a.level_count != b.level_count:
+            raise ValueError(
+                f"level mismatch: {a.level_count} vs {b.level_count}"
+            )
+
+    # ------------------------------------------------------------------
+    # addition family
+    # ------------------------------------------------------------------
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        """CKKS.Add: componentwise sum (sizes may differ)."""
+        self._check_scales(ct0.scale, ct1.scale)
+        self._check_levels(ct0, ct1)
+        big, small = (ct0, ct1) if ct0.size >= ct1.size else (ct1, ct0)
+        polys = [
+            big.polys[i].add(small.polys[i]) if i < small.size else big.polys[i].clone()
+            for i in range(big.size)
+        ]
+        return Ciphertext(polys, ct0.scale)
+
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        """Componentwise difference."""
+        self._check_scales(ct0.scale, ct1.scale)
+        self._check_levels(ct0, ct1)
+        size = max(ct0.size, ct1.size)
+        polys = []
+        for i in range(size):
+            if i < ct0.size and i < ct1.size:
+                polys.append(ct0.polys[i].sub(ct1.polys[i]))
+            elif i < ct0.size:
+                polys.append(ct0.polys[i].clone())
+            else:
+                polys.append(ct1.polys[i].negate())
+        return Ciphertext(polys, ct0.scale)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        return Ciphertext([p.negate() for p in ct.polys], ct.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Add an (NTT-form, level-matched) plaintext to ``c0``."""
+        self._check_scales(ct.scale, pt.scale)
+        self._check_levels(ct, pt)
+        polys = [p.clone() for p in ct.polys]
+        polys[0] = polys[0].add(pt.poly)
+        return Ciphertext(polys, ct.scale)
+
+    def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self._check_scales(ct.scale, pt.scale)
+        self._check_levels(ct, pt)
+        polys = [p.clone() for p in ct.polys]
+        polys[0] = polys[0].sub(pt.poly)
+        return Ciphertext(polys, ct.scale)
+
+    # ------------------------------------------------------------------
+    # multiplication family (Algorithm 5)
+    # ------------------------------------------------------------------
+    def multiply(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        """Algorithm 5 generalized: (α, β) -> α+β-1 component product.
+
+        For the common size-2 × size-2 case this is exactly the printed
+        algorithm: ``c0 = a0 b0``, ``c1 = a0 b1 + a1 b0``, ``c2 = a1 b1``,
+        all dyadic since operands are in NTT form.
+        """
+        self._check_levels(ct0, ct1)
+        alpha, beta = ct0.size, ct1.size
+        out: List[RnsPolynomial] = [None] * (alpha + beta - 1)
+        for i in range(alpha):
+            for j in range(beta):
+                term = ct0.polys[i].dyadic_multiply(ct1.polys[j])
+                out[i + j] = term if out[i + j] is None else out[i + j].add(term)
+        return Ciphertext(out, ct0.scale * ct1.scale)
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (saves one dyadic product vs multiply)."""
+        if ct.size != 2:
+            return self.multiply(ct, ct)
+        a0, a1 = ct.polys
+        c0 = a0.dyadic_multiply(a0)
+        cross = a0.dyadic_multiply(a1)
+        c1 = cross.add(cross)
+        c2 = a1.dyadic_multiply(a1)
+        return Ciphertext([c0, c1, c2], ct.scale * ct.scale)
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Ciphertext-plaintext product (the MULT module's C-P mode)."""
+        self._check_levels(ct, pt)
+        polys = [p.dyadic_multiply(pt.poly) for p in ct.polys]
+        return Ciphertext(polys, ct.scale * pt.scale)
+
+    # ------------------------------------------------------------------
+    # rescaling (Algorithm 6)
+    # ------------------------------------------------------------------
+    def _floor_divide_last(self, poly: RnsPolynomial) -> RnsPolynomial:
+        """RNS flooring: divide by the last RNS prime and drop it.
+
+        Implements Algorithm 6: ``a = INTT(c_last)``; for every remaining
+        prime ``p_i``: ``c'_i = [p_last^{-1} (c_i - NTT([a]_{p_i}))]``.
+        """
+        ctx = self.context
+        if not poly.is_ntt:
+            raise ValueError("flooring operates on NTT-form polynomials")
+        if poly.level_count < 2:
+            raise ValueError("need at least two RNS components to floor")
+        last_mod = poly.moduli[-1]
+        a = ctx.tables(last_mod).inverse(poly.residues[-1])
+        out_rows = []
+        out_moduli = poly.moduli[:-1]
+        for i, m in enumerate(out_moduli):
+            p = m.value
+            inv_last = pow(last_mod.value % p, -1, p)
+            r = [x % p for x in a]
+            r_ntt = ctx.tables(m).forward(r)
+            row = []
+            for c, rr in zip(poly.residues[i], r_ntt):
+                d = c - rr
+                if d < 0:
+                    d += p
+                row.append(m.mul(d, inv_last))
+            out_rows.append(row)
+        return RnsPolynomial(poly.n, out_moduli, out_rows, is_ntt=True)
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """CKKS.Rescale: floor-divide every component by the last prime.
+
+        The scale drops by exactly that prime, so callers typically choose
+        primes close to the scale to keep it stable across levels.
+        """
+        if ct.level_count < 2:
+            raise ValueError("cannot rescale at the last level")
+        last = ct.moduli[-1].value
+        polys = [self._floor_divide_last(p) for p in ct.polys]
+        return Ciphertext(polys, ct.scale / last)
+
+    # ------------------------------------------------------------------
+    # key switching (Algorithm 7)
+    # ------------------------------------------------------------------
+    def keyswitch_polynomial(
+        self, target: RnsPolynomial, ksk: KswitchKey
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Algorithm 7 core: switch one NTT-form polynomial to the new key.
+
+        Returns the pair ``(f0, f1)`` over the target's basis such that a
+        ciphertext decryptable via ``target * s_old`` becomes decryptable
+        under ``s`` after adding ``(f0, f1)``.
+
+        The structure mirrors the hardware dataflow (Figure 5): one INTT
+        per RNS component of the input, a fan-out of NTTs to every other
+        prime (including the special prime), dyadic products against both
+        key columns with accumulation, and a final Modulus-Switch (Floor)
+        by the special prime.
+        """
+        ctx = self.context
+        if not target.is_ntt:
+            raise ValueError("key switching operates on NTT-form input")
+        level = target.level_count
+        data_moduli = list(target.moduli)
+        special = ctx.special_modulus
+        ext_moduli = data_moduli + [special]
+        n = target.n
+
+        acc0 = RnsPolynomial(n, ext_moduli, is_ntt=True)
+        acc1 = RnsPolynomial(n, ext_moduli, is_ntt=True)
+        for i in range(level):
+            p_i = data_moduli[i]
+            # line 3: back to coefficient domain for this component
+            a = ctx.tables(p_i).inverse(target.residues[i])
+            d0, d1 = ksk.digit(i)
+            d0_rows = _rows_for(d0, ext_moduli)
+            d1_rows = _rows_for(d1, ext_moduli)
+            for j, m_j in enumerate(ext_moduli):
+                if m_j.value == p_i.value:
+                    b_ntt = target.residues[i]  # line 9: already in NTT form
+                else:
+                    b = [x % m_j.value for x in a]  # line 6: Mod(a, p_j)
+                    b_ntt = ctx.tables(m_j).forward(b)  # line 7
+                # lines 11-12 / 16-17: dyadic multiply-accumulate
+                _dyadic_mac(acc0.residues[j], b_ntt, d0_rows[j], m_j)
+                _dyadic_mac(acc1.residues[j], b_ntt, d1_rows[j], m_j)
+        # line 19: Floor by the special prime (Modulus Switch)
+        return self._floor_divide_last(acc0), self._floor_divide_last(acc1)
+
+    def relinearize(self, ct: Ciphertext, relin_key: RelinKey) -> Ciphertext:
+        """CKKS.Relin: reduce a size-3 ciphertext back to size 2."""
+        if ct.size != 3:
+            raise ValueError(f"relinearize expects size-3 ciphertext, got {ct.size}")
+        f0, f1 = self.keyswitch_polynomial(ct.polys[2], relin_key)
+        return Ciphertext(
+            [ct.polys[0].add(f0), ct.polys[1].add(f1)], ct.scale
+        )
+
+    def multiply_relin(
+        self, ct0: Ciphertext, ct1: Ciphertext, relin_key: RelinKey
+    ) -> Ciphertext:
+        """Fused MULT + Relin -- the composite operation of Table 8."""
+        return self.relinearize(self.multiply(ct0, ct1), relin_key)
+
+    # ------------------------------------------------------------------
+    # rotation / conjugation
+    # ------------------------------------------------------------------
+    def _apply_galois_ct(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
+        ctx = self.context
+        polys = []
+        for p in ct.polys:
+            coeff = ctx.from_ntt(p)
+            polys.append(ctx.to_ntt(ctx.apply_galois(coeff, galois_elt)))
+        return Ciphertext(polys, ct.scale)
+
+    def apply_galois(
+        self, ct: Ciphertext, galois_elt: int, key: GaloisKey
+    ) -> Ciphertext:
+        """Automorphism + key switch back to ``s`` (size-2 input only)."""
+        if ct.size != 2:
+            raise ValueError("relinearize before applying Galois automorphisms")
+        if key.galois_elt != galois_elt:
+            raise ValueError("Galois key does not match the requested element")
+        rotated = self._apply_galois_ct(ct, galois_elt)
+        f0, f1 = self.keyswitch_polynomial(rotated.polys[1], key)
+        return Ciphertext([rotated.polys[0].add(f0), f1], ct.scale)
+
+    def rotate(
+        self, ct: Ciphertext, step: int, galois_keys: GaloisKeySet
+    ) -> Ciphertext:
+        """Cyclically rotate message slots left by ``step``."""
+        elt = self.context.galois_element_for_step(step)
+        return self.apply_galois(ct, elt, galois_keys.key_for_element(elt))
+
+    def conjugate(self, ct: Ciphertext, galois_keys: GaloisKeySet) -> Ciphertext:
+        """Complex-conjugate every slot."""
+        elt = self.context.conjugation_element
+        return self.apply_galois(ct, elt, galois_keys.key_for_element(elt))
+
+
+def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
+    """Select the residue rows of a full-basis key poly for these moduli."""
+    index = {m.value: i for i, m in enumerate(poly.moduli)}
+    return [poly.residues[index[m.value]] for m in moduli]
+
+
+def _dyadic_mac(acc: List[int], x: List[int], y: List[int], modulus) -> None:
+    """In-place ``acc += x ⊙ y mod p`` (one DyadMult-and-accumulate lane)."""
+    p = modulus.value
+    mul = modulus.mul
+    for t in range(len(acc)):
+        v = acc[t] + mul(x[t], y[t])
+        acc[t] = v - p if v >= p else v

@@ -1,0 +1,181 @@
+"""Key generation: secret/public keys and key-switching key material.
+
+Implements CKKS.KeyGen, SymEnc-based public keys, and KskGen /
+CKKS.RlkGen / CKKS.GlkGen from Section 3 of the paper.
+
+A key-switching key for target key ``s'`` under secret ``s`` is, per
+digit ``i`` of the RNS gadget decomposition (Section 2),
+
+    (d0_i, d1_i) = SymEnc(P * g_i * s', s)   over the extended modulus QP,
+
+where ``g_i = π_i [π_i^{-1}]_{p_i}`` satisfies ``g_i ≡ δ_{ij} (mod p_j)``.
+In RNS form the encoded term therefore contributes ``[P]_{p_i} [s']_{p_i}``
+to residue row ``i`` only, and nothing to the special-prime row -- the
+structure Algorithm 7 exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ckks.context import CkksContext
+from repro.ckks.poly import RnsPolynomial, restrict_to_moduli
+from repro.ckks.sampling import Sampler
+
+
+class SecretKey:
+    """Secret key ``s``: a ternary polynomial stored in NTT form over QP."""
+
+    def __init__(self, poly_ntt: RnsPolynomial):
+        self.poly = poly_ntt
+
+    def restricted(self, moduli) -> RnsPolynomial:
+        return restrict_to_moduli(self.poly, moduli)
+
+
+class PublicKey:
+    """Public key ``(b, a) = SymEnc(0, s)`` over the data basis, NTT form."""
+
+    def __init__(self, b: RnsPolynomial, a: RnsPolynomial):
+        self.b = b
+        self.a = a
+
+
+class KswitchKey:
+    """Key-switching key: one ``(d0_i, d1_i)`` pair per gadget digit.
+
+    Every pair lives over the full key basis (all data primes plus the
+    special prime) in NTT form; Algorithm 7 restricts rows to the current
+    level on the fly.
+    """
+
+    def __init__(self, digits: List[Tuple[RnsPolynomial, RnsPolynomial]]):
+        if not digits:
+            raise ValueError("key-switching key needs at least one digit")
+        self.digits = digits
+
+    @property
+    def digit_count(self) -> int:
+        return len(self.digits)
+
+    def digit(self, i: int) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        return self.digits[i]
+
+
+class RelinKey(KswitchKey):
+    """Relinearization key: ``KskGen(s^2, s)``."""
+
+
+class GaloisKey(KswitchKey):
+    """Rotation key for one Galois element: ``KskGen(σ_g(s), s)``."""
+
+    def __init__(self, galois_elt: int, digits):
+        super().__init__(digits)
+        self.galois_elt = galois_elt
+
+
+class GaloisKeySet:
+    """A bundle of Galois keys addressed by Galois element."""
+
+    def __init__(self, keys: Dict[int, GaloisKey]):
+        self._keys = dict(keys)
+
+    def key_for_element(self, galois_elt: int) -> GaloisKey:
+        try:
+            return self._keys[galois_elt]
+        except KeyError:
+            raise KeyError(
+                f"no Galois key for element {galois_elt}; generate it first"
+            ) from None
+
+    def __contains__(self, galois_elt: int) -> bool:
+        return galois_elt in self._keys
+
+    def elements(self) -> List[int]:
+        return sorted(self._keys)
+
+
+class KeyGenerator:
+    """Generates all key material for a context (CKKS.KeyGen et al.)."""
+
+    def __init__(self, context: CkksContext, seed: Optional[int] = None):
+        self.context = context
+        self.sampler = Sampler(seed)
+        self._secret = self._generate_secret()
+
+    # ------------------------------------------------------------------
+    def _generate_secret(self) -> SecretKey:
+        ctx = self.context
+        s = self.sampler.ternary_poly(ctx.n, ctx.key_basis.moduli)
+        return SecretKey(ctx.to_ntt(s))
+
+    @property
+    def secret_key(self) -> SecretKey:
+        return self._secret
+
+    def _symmetric_zero(self, moduli) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """``SymEnc(0, s)`` over the given basis: ``(-(a s) + e, a)``."""
+        ctx = self.context
+        a = self.sampler.uniform_residues(ctx.n, moduli)
+        e = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
+        s = self._secret.restricted(moduli)
+        b = a.dyadic_multiply(s).negate().add(e)
+        return b, a
+
+    def public_key(self) -> PublicKey:
+        """Public key over the data basis (no special prime)."""
+        b, a = self._symmetric_zero(self.context.data_basis.moduli)
+        return PublicKey(b, a)
+
+    # ------------------------------------------------------------------
+    # key switching keys
+    # ------------------------------------------------------------------
+    def _kswitch_key(self, target_ntt: RnsPolynomial) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+        """KskGen: encrypt ``P * g_i * target`` under ``s`` per digit ``i``."""
+        ctx = self.context
+        key_moduli = ctx.key_basis.moduli
+        special = ctx.special_modulus
+        digits = []
+        for i in range(ctx.k):
+            b, a = self._symmetric_zero(key_moduli)
+            # Add [P]_{p_i} * [target]_{p_i} to residue row i of b only.
+            p_i = key_moduli[i].value
+            factor = special.value % p_i
+            row = b.residues[i]
+            trow = target_ntt.residues[i]
+            mod_i = key_moduli[i]
+            for t in range(ctx.n):
+                row[t] = mod_i.add(row[t], mod_i.mul(factor, trow[t]))
+            digits.append((b, a))
+        return digits
+
+    def relin_key(self) -> RelinKey:
+        """``CKKS.RlkGen``: key switching key for ``s^2``."""
+        s = self._secret.poly
+        s_squared = s.dyadic_multiply(s)
+        return RelinKey(self._kswitch_key(s_squared))
+
+    def galois_key(self, galois_elt: int) -> GaloisKey:
+        """``CKKS.GlkGen`` for one automorphism ``X -> X^g``.
+
+        Rotation applies ``σ_g`` to the ciphertext, after which it
+        decrypts under ``σ_g(s)``; the key switches ``σ_g(s) -> s``.
+        """
+        ctx = self.context
+        s_coeff = ctx.from_ntt(self._secret.poly)
+        s_rotated = ctx.to_ntt(ctx.apply_galois(s_coeff, galois_elt))
+        return GaloisKey(galois_elt, self._kswitch_key(s_rotated))
+
+    def galois_keys(self, steps: Iterable[int], conjugation: bool = False) -> GaloisKeySet:
+        """Generate rotation keys for the given slot steps (and optionally
+        the conjugation key)."""
+        ctx = self.context
+        keys: Dict[int, GaloisKey] = {}
+        for step in steps:
+            elt = ctx.galois_element_for_step(step)
+            if elt not in keys:
+                keys[elt] = self.galois_key(elt)
+        if conjugation:
+            elt = ctx.conjugation_element
+            keys[elt] = self.galois_key(elt)
+        return GaloisKeySet(keys)

@@ -1,0 +1,156 @@
+"""Heuristic noise tracking for CKKS evaluation.
+
+CKKS correctness hinges on the invariant that the message (at scale
+``Δ``) stays far above the noise and far below ``q_l``.  This module
+provides the standard heuristic (canonical-embedding, high-probability)
+noise bounds for each primitive -- fresh encryption, addition,
+multiplication, relinearization (Algorithm 7's gadget noise), rescaling
+(Algorithm 6's flooring noise) -- and a :class:`NoiseBudget` tracker
+that threads them through a computation.
+
+The estimates use the standard heuristics from the CKKS literature
+(6-sigma truncated Gaussian errors, ternary secrets); the test suite
+checks them against *measured* noise from actual decryptions, requiring
+the estimate to be a true upper bound that is not wildly loose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.ckks.context import CkksContext
+from repro.ckks.sampling import ERROR_STDDEV, ERROR_TRUNCATION_SIGMAS
+
+#: High-probability bound on one fresh error coefficient.
+ERROR_BOUND = math.ceil(ERROR_TRUNCATION_SIGMAS * ERROR_STDDEV)
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """An upper bound on the noise's canonical-embedding magnitude,
+    together with the ciphertext's scale and level."""
+
+    bound: float
+    scale: float
+    level_count: int
+
+    @property
+    def precision_bits(self) -> float:
+        """Bits of message precision remaining: log2(scale / noise)."""
+        if self.bound <= 0:
+            return float("inf")
+        return math.log2(self.scale) - math.log2(self.bound)
+
+    def decryptable(self, q_bits: float, message_magnitude: float = 1.0) -> bool:
+        """Message + noise still fits under q/2."""
+        need = math.log2(self.scale * message_magnitude + self.bound) + 1
+        return need < q_bits
+
+
+class NoiseModel:
+    """Per-primitive heuristic noise propagation."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        self.n = context.n
+
+    # ------------------------------------------------------------------
+    def fresh(self, scale: float = None, level_count: int = None) -> NoiseEstimate:
+        """Public-key encryption noise: ``u*e_pk + e0 + e1*s`` with
+        ternary u, s: canonical norm ~ B * (2 sqrt(n) + 1)-ish."""
+        ctx = self.context
+        scale = scale or ctx.params.scale
+        level_count = level_count or ctx.k
+        bound = ERROR_BOUND * (2 * math.sqrt(self.n) + 1) * math.sqrt(3)
+        return NoiseEstimate(bound, scale, level_count)
+
+    def add(self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate:
+        if a.level_count != b.level_count:
+            raise ValueError("level mismatch in noise propagation")
+        return NoiseEstimate(a.bound + b.bound, a.scale, a.level_count)
+
+    def multiply(
+        self,
+        a: NoiseEstimate,
+        b: NoiseEstimate,
+        a_message: float = 1.0,
+        b_message: float = 1.0,
+    ) -> NoiseEstimate:
+        """Ciphertext product: cross terms message*noise dominate."""
+        bound = (
+            a.bound * b.scale * b_message
+            + b.bound * a.scale * a_message
+            + a.bound * b.bound
+        )
+        return NoiseEstimate(bound, a.scale * b.scale, a.level_count)
+
+    def multiply_plain(
+        self, a: NoiseEstimate, plain_scale: float, plain_magnitude: float = 1.0
+    ) -> NoiseEstimate:
+        return NoiseEstimate(
+            a.bound * plain_scale * plain_magnitude, a.scale * plain_scale, a.level_count
+        )
+
+    def keyswitch(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Algorithm 7 additive noise.
+
+        Each of the ``l`` digits contributes ``[c]_{p_i} * e_i`` with
+        ``|[c]_{p_i}| < p_i``; the special-modulus floor divides by P,
+        leaving ~``l * n * B * p_max / P`` plus the flooring rounding
+        (~sqrt(l)).  With same-sized primes p_max/P ~ 1.
+        """
+        ctx = self.context
+        level = a.level_count
+        p_max = max(m.value for m in ctx.basis_at_level(level).moduli)
+        special = ctx.special_modulus.value
+        gadget = level * math.sqrt(self.n) * ERROR_BOUND * p_max / special
+        flooring = math.sqrt(level) * math.sqrt(self.n)
+        return NoiseEstimate(a.bound + gadget + flooring, a.scale, level)
+
+    def rescale(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Algorithm 6: divide by the dropped prime, add flooring noise."""
+        ctx = self.context
+        dropped = ctx.basis_at_level(a.level_count).moduli[-1].value
+        bound = a.bound / dropped + math.sqrt(self.n)
+        return NoiseEstimate(bound, a.scale / dropped, a.level_count - 1)
+
+    def rotate(self, a: NoiseEstimate) -> NoiseEstimate:
+        """Automorphism permutes coefficients (norm-preserving), then a
+        KeySwitch adds its gadget noise."""
+        return self.keyswitch(a)
+
+
+class NoiseBudget:
+    """Threads noise estimates through a computation plan."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        self.model = NoiseModel(context)
+        self.trace: List[str] = []
+
+    def fresh(self, **kw) -> NoiseEstimate:
+        est = self.model.fresh(**kw)
+        self.trace.append(f"fresh: {est.precision_bits:.1f} bits")
+        return est
+
+    def after(self, op: str, *estimates: NoiseEstimate, **kw) -> NoiseEstimate:
+        method = getattr(self.model, op)
+        est = method(*estimates, **kw)
+        self.trace.append(f"{op}: {est.precision_bits:.1f} bits")
+        return est
+
+    def depth_capacity(self, message_magnitude: float = 1.0) -> int:
+        """Multiplicative depth (mul+relin+rescale chain) before the
+        precision drops below one bit or levels run out."""
+        est = self.model.fresh()
+        depth = 0
+        while est.level_count > 1:
+            prod = self.model.multiply(est, est, message_magnitude, message_magnitude)
+            switched = self.model.keyswitch(prod)
+            est = self.model.rescale(switched)
+            if est.precision_bits < 1:
+                break
+            depth += 1
+        return depth

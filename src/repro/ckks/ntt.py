@@ -1,0 +1,210 @@
+"""Negacyclic number-theoretic transform (Algorithms 3 and 4).
+
+The forward transform is the Cooley-Tukey decimation-in-time NTT with the
+twiddle factors (powers of the primitive ``2n``-th root ``ψ``) stored in
+bit-reversed order, as in Longa-Naehrig [52] / Microsoft SEAL.  The input
+is in standard order; the output is in bit-reversed order.
+
+The inverse transform is the Gentleman-Sande counterpart operating on
+bit-reversed input and producing standard order.  Following Algorithm 4 of
+the paper, each butterfly halves the sum (``(a+b)/2 mod p``) and the
+stored inverse twiddles are pre-divided by two, so after ``log n`` stages
+the total ``1/n`` scaling has been applied with no final pass.
+
+Because forward output order equals inverse input order, *dyadic*
+(coefficient-wise) operations can be performed directly on NTT-form data,
+which is exactly the representation HEAX keeps ciphertexts in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ckks.modarith import Modulus, MulRedConstant
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the lowest ``bits`` bits of ``value``."""
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_permutation(values: Sequence[int]) -> List[int]:
+    """Return ``values`` permuted by bit-reversal of indices."""
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("length must be a power of two")
+    bits = n.bit_length() - 1
+    return [values[bit_reverse(i, bits)] for i in range(n)]
+
+
+class NTTTables:
+    """Precomputed twiddle tables for one ``(modulus, n)`` pair.
+
+    Attributes
+    ----------
+    psi:
+        Minimal primitive ``2n``-th root of unity modulo ``p``.
+    root_powers:
+        ``Y`` of Algorithm 3 -- powers of ``ψ`` in bit-reversed order,
+        each wrapped as a :class:`MulRedConstant` so butterflies use the
+        Algorithm-2 fast path.
+    inv_root_powers_div2:
+        ``Y`` of Algorithm 4 -- powers of ``ψ^{-1}``, bit-reversed, divided
+        by two.
+    """
+
+    def __init__(self, n: int, modulus: Modulus, psi: int = None):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        if (modulus.value - 1) % (2 * n) != 0:
+            raise ValueError(
+                f"modulus {modulus.value} does not support NTT of size {n}"
+            )
+        self.n = n
+        self.log_n = n.bit_length() - 1
+        self.modulus = modulus
+        if psi is None:
+            from repro.ckks.primes import primitive_2nth_root
+
+            psi = primitive_2nth_root(modulus.value, n)
+        p = modulus.value
+        if pow(psi, n, p) != p - 1:
+            raise ValueError("psi is not a primitive 2n-th root of unity")
+        self.psi = psi
+        self.inv_n = pow(n, -1, p)
+
+        bits = self.log_n
+        powers = [1] * n
+        for i in range(1, n):
+            powers[i] = powers[i - 1] * psi % p
+        psi_inv = pow(psi, -1, p)
+        inv_powers = [1] * n
+        for i in range(1, n):
+            inv_powers[i] = inv_powers[i - 1] * psi_inv % p
+        inv2 = pow(2, -1, p)
+
+        # Forward: root_powers[m + i] = psi^{ bitrev(m+i over per-level bits) }
+        # The standard layout (SEAL): table index t in [1, n) at level with
+        # m entries stores psi^{ rev(t - m, log2 m) * (n/m) ... }.  The
+        # compact equivalent: root_powers[t] = psi^{ bit_reverse(t, log n) }.
+        self.root_powers = [
+            MulRedConstant(powers[bit_reverse(t, bits)], modulus) for t in range(n)
+        ]
+        # Inverse: the Gentleman-Sande stage sequence is the forward schedule
+        # reversed, so the stage-(h, i) butterfly must undo the forward
+        # butterfly that used root_powers[h + i].  Inverting
+        # (u', v') = (u + w v, u - w v) gives u = (u' + v')/2 and
+        # v = (u' - v') * w^{-1} / 2, hence the table stores
+        # psi^{-bit_reverse(t, log n)} / 2 at index t (the per-stage halving
+        # of Algorithm 4 folded in).
+        self.inv_root_powers_div2 = [
+            MulRedConstant(inv_powers[bit_reverse(t, bits)] * inv2 % p, modulus)
+            for t in range(n)
+        ]
+
+    def forward(self, values: Sequence[int]) -> List[int]:
+        """NTT (Algorithm 3): standard-order input, bit-reversed output."""
+        a = list(values)
+        n = self.n
+        if len(a) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(a)}")
+        p = self.modulus.value
+        table = self.root_powers
+        t = n
+        m = 1
+        while m < n:
+            t >>= 1
+            for i in range(m):
+                j1 = 2 * i * t
+                w = table[m + i]
+                for j in range(j1, j1 + t):
+                    u = a[j]
+                    v = w.mul(a[j + t])
+                    s = u + v
+                    if s >= p:
+                        s -= p
+                    d = u - v
+                    if d < 0:
+                        d += p
+                    a[j] = s
+                    a[j + t] = d
+            m <<= 1
+        return a
+
+    def inverse(self, values: Sequence[int]) -> List[int]:
+        """INTT (Algorithm 4): bit-reversed input, standard-order output.
+
+        Implements the paper's per-stage halving variant: the sum path is
+        divided by two every stage and the difference path is multiplied
+        by a pre-halved inverse twiddle, so the aggregate ``1/n`` scaling
+        needs no final multiplication pass.
+        """
+        a = list(values)
+        n = self.n
+        if len(a) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(a)}")
+        p = self.modulus.value
+        table = self.inv_root_powers_div2
+        t = 1
+        m = n
+        while m > 1:
+            h = m >> 1
+            j1 = 0
+            for i in range(h):
+                w = table[h + i]
+                for j in range(j1, j1 + t):
+                    u = a[j]
+                    v = a[j + t]
+                    s = u + v
+                    if s >= p:
+                        s -= p
+                    # (u + v) / 2 mod p
+                    a[j] = (s + p if s & 1 else s) >> 1
+                    d = u - v
+                    if d < 0:
+                        d += p
+                    a[j + t] = w.mul(d)
+                j1 += 2 * t
+            t <<= 1
+            m = h
+        return a
+
+    def negacyclic_multiply(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Multiply two standard-order polynomials in ``R_p`` via NTT."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        mod = self.modulus
+        prod = [mod.mul(x, y) for x, y in zip(fa, fb)]
+        return self.inverse(prod)
+
+
+def negacyclic_convolution_reference(
+    a: Sequence[int], b: Sequence[int], p: int
+) -> List[int]:
+    """Schoolbook negacyclic convolution (Section 3.1 formula), O(n^2).
+
+    ``c_j = sum_{i<=j} a_i b_{j-i} - sum_{i>j} a_i b_{j-i+n}  (mod p)``.
+    Used as the test oracle for the NTT path.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("length mismatch")
+    c = [0] * n
+    for i in range(n):
+        ai = a[i]
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * b[j]
+            if k < n:
+                c[k] = (c[k] + term) % p
+            else:
+                c[k - n] = (c[k - n] - term) % p
+    return [x % p for x in c]

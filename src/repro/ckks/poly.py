@@ -1,0 +1,247 @@
+"""Polynomials over ``Z_p[X]/(X^n+1)`` and their RNS form.
+
+An :class:`RnsPolynomial` is the central data object of the library: a
+vector of residue polynomials (one per RNS modulus), each a list of ``n``
+coefficients, together with a flag recording whether the data is in NTT
+(evaluation) form.  HEAX and SEAL keep ciphertexts in NTT form by default
+so that multiplication is dyadic (Algorithm 5); the flag lets the
+evaluator check domain discipline instead of silently producing garbage.
+
+:class:`Plaintext` and :class:`Ciphertext` wrap RNS polynomials with the
+CKKS metadata (scale, level).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ckks.modarith import Modulus
+
+
+class RnsPolynomial:
+    """A polynomial in ``R_q`` stored as per-prime residue polynomials."""
+
+    __slots__ = ("n", "moduli", "residues", "is_ntt")
+
+    def __init__(
+        self,
+        n: int,
+        moduli: Sequence[Modulus],
+        residues: List[List[int]] = None,
+        is_ntt: bool = False,
+    ):
+        self.n = n
+        self.moduli = list(moduli)
+        if residues is None:
+            residues = [[0] * n for _ in self.moduli]
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue component count must match moduli count")
+        for r in residues:
+            if len(r) != n:
+                raise ValueError("residue polynomial has wrong length")
+        self.residues = residues
+        self.is_ntt = is_ntt
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int_coeffs(
+        cls, coeffs: Sequence[int], moduli: Sequence[Modulus], is_ntt: bool = False
+    ) -> "RnsPolynomial":
+        """Reduce signed integer coefficients into every RNS component."""
+        n = len(coeffs)
+        residues = [[c % m.value for c in coeffs] for m in moduli]
+        return cls(n, moduli, residues, is_ntt)
+
+    def clone(self) -> "RnsPolynomial":
+        return RnsPolynomial(
+            self.n,
+            self.moduli,
+            [list(r) for r in self.residues],
+            self.is_ntt,
+        )
+
+    @property
+    def level_count(self) -> int:
+        """Number of RNS components currently carried."""
+        return len(self.moduli)
+
+    # ------------------------------------------------------------------
+    # arithmetic (domain-agnostic: NTT and coefficient forms both support
+    # coefficient-wise add/sub/negate; dyadic multiply is only meaningful
+    # on matching domains and equals ring multiplication only in NTT form)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.n != other.n:
+            raise ValueError("ring degree mismatch")
+        if [m.value for m in self.moduli] != [m.value for m in other.moduli]:
+            raise ValueError("RNS basis mismatch")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("NTT-form mismatch (transform before combining)")
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = []
+        for m, a, b in zip(self.moduli, self.residues, other.residues):
+            p = m.value
+            row = [x + y for x, y in zip(a, b)]
+            out.append([v - p if v >= p else v for v in row])
+        return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        out = []
+        for m, a, b in zip(self.moduli, self.residues, other.residues):
+            p = m.value
+            row = [x - y for x, y in zip(a, b)]
+            out.append([v + p if v < 0 else v for v in row])
+        return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
+
+    def negate(self) -> "RnsPolynomial":
+        out = []
+        for m, a in zip(self.moduli, self.residues):
+            p = m.value
+            out.append([0 if x == 0 else p - x for x in a])
+        return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
+
+    def dyadic_multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Coefficient-wise product; equals ring product in NTT form."""
+        self._check_compatible(other)
+        out = []
+        for m, a, b in zip(self.moduli, self.residues, other.residues):
+            out.append([m.mul(x, y) for x, y in zip(a, b)])
+        return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
+
+    def multiply_scalar(self, scalars) -> "RnsPolynomial":
+        """Multiply by a per-modulus scalar (int or list of ints)."""
+        if isinstance(scalars, int):
+            scalars = [scalars] * len(self.moduli)
+        out = []
+        for m, s, a in zip(self.moduli, scalars, self.residues):
+            s = s % m.value
+            out.append([m.mul(x, s) for x in a])
+        return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
+
+    # ------------------------------------------------------------------
+    # basis manipulation
+    # ------------------------------------------------------------------
+    def drop_last_component(self) -> "RnsPolynomial":
+        """Remove the last RNS component (used after rescaling)."""
+        if len(self.moduli) <= 1:
+            raise ValueError("cannot drop the only RNS component")
+        return RnsPolynomial(
+            self.n,
+            self.moduli[:-1],
+            [list(r) for r in self.residues[:-1]],
+            self.is_ntt,
+        )
+
+    def component(self, i: int) -> List[int]:
+        """Residue polynomial for modulus ``i`` (a list copy)."""
+        return list(self.residues[i])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RnsPolynomial)
+            and self.n == other.n
+            and self.is_ntt == other.is_ntt
+            and [m.value for m in self.moduli] == [m.value for m in other.moduli]
+            and self.residues == other.residues
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsPolynomial(n={self.n}, k={len(self.moduli)}, "
+            f"ntt={self.is_ntt})"
+        )
+
+
+def restrict_to_moduli(poly: RnsPolynomial, moduli: Sequence[Modulus]) -> RnsPolynomial:
+    """Project an RNS polynomial onto a sub-basis of its moduli.
+
+    Because each RNS component is independent (the ring isomorphism of
+    Section 2), restricting to fewer primes is pure row selection -- this
+    is how level-``l`` operations reuse keys generated at the top level.
+    """
+    index = {m.value: i for i, m in enumerate(poly.moduli)}
+    rows = []
+    for m in moduli:
+        if m.value not in index:
+            raise ValueError(f"modulus {m.value} not present in polynomial")
+        rows.append(list(poly.residues[index[m.value]]))
+    return RnsPolynomial(poly.n, list(moduli), rows, poly.is_ntt)
+
+
+class Plaintext:
+    """A CKKS plaintext: an RNS polynomial plus its encoding scale."""
+
+    __slots__ = ("poly", "scale")
+
+    def __init__(self, poly: RnsPolynomial, scale: float):
+        self.poly = poly
+        self.scale = scale
+
+    @property
+    def n(self) -> int:
+        return self.poly.n
+
+    @property
+    def level_count(self) -> int:
+        return self.poly.level_count
+
+    def clone(self) -> "Plaintext":
+        return Plaintext(self.poly.clone(), self.scale)
+
+    def __repr__(self) -> str:
+        return f"Plaintext(n={self.n}, k={self.level_count}, scale={self.scale:g})"
+
+
+class Ciphertext:
+    """A CKKS ciphertext: ``size`` RNS polynomials sharing scale and basis.
+
+    A freshly encrypted ciphertext has ``size == 2``; an un-relinearized
+    product has ``size == 3`` (decryptable as ``<ct, (1, s, s^2)>``).
+    """
+
+    __slots__ = ("polys", "scale")
+
+    def __init__(self, polys: List[RnsPolynomial], scale: float):
+        if not polys:
+            raise ValueError("ciphertext needs at least one polynomial")
+        n = polys[0].n
+        basis = [m.value for m in polys[0].moduli]
+        for p in polys[1:]:
+            if p.n != n or [m.value for m in p.moduli] != basis:
+                raise ValueError("ciphertext polynomials must share ring/basis")
+        self.polys = polys
+        self.scale = scale
+
+    @property
+    def size(self) -> int:
+        return len(self.polys)
+
+    @property
+    def n(self) -> int:
+        return self.polys[0].n
+
+    @property
+    def level_count(self) -> int:
+        return self.polys[0].level_count
+
+    @property
+    def moduli(self) -> List[Modulus]:
+        return self.polys[0].moduli
+
+    @property
+    def is_ntt(self) -> bool:
+        return self.polys[0].is_ntt
+
+    def clone(self) -> "Ciphertext":
+        return Ciphertext([p.clone() for p in self.polys], self.scale)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ciphertext(size={self.size}, n={self.n}, "
+            f"k={self.level_count}, scale={self.scale:g})"
+        )

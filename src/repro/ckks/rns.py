@@ -1,0 +1,122 @@
+"""Residue number system (RNS) tooling.
+
+Full-RNS CKKS represents every big-modulus polynomial as a tuple of
+word-sized residue polynomials (Section 2, "Residue Number System").  This
+module provides:
+
+* :class:`RnsBasis` -- an ordered set of pairwise-coprime word-sized
+  moduli with CRT compose/decompose and the punctured-product constants
+  ``π_i = q / p_i`` and ``[π_i^{-1}]_{p_i}``.
+* the **gadget decomposition** of Section 2 used by key switching
+  (Algorithm 7): ``g^{-1}(a) = ([a]_{p_0}, ..., [a]_{p_l})`` with gadget
+  vector ``g_i = π_i [π_i^{-1}]_{p_i}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.ckks.modarith import Modulus
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An ordered RNS basis of pairwise-coprime word-sized moduli."""
+
+    moduli: tuple
+
+    def __init__(self, moduli: Sequence[Modulus]):
+        values = [m.value for m in moduli]
+        if len(set(values)) != len(values):
+            raise ValueError("RNS moduli must be distinct")
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                if _gcd(a, b) != 1:
+                    raise ValueError(f"moduli {a} and {b} are not coprime")
+        object.__setattr__(self, "moduli", tuple(moduli))
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __getitem__(self, i: int) -> Modulus:
+        return self.moduli[i]
+
+    @property
+    def product(self) -> int:
+        """The big modulus ``q = prod p_i``."""
+        q = 1
+        for m in self.moduli:
+            q *= m.value
+        return q
+
+    def punctured_product(self, i: int) -> int:
+        """``π_i = q / p_i``."""
+        return self.product // self.moduli[i].value
+
+    def punctured_inverse(self, i: int) -> int:
+        """``[π_i^{-1}]_{p_i}``."""
+        p = self.moduli[i].value
+        return pow(self.punctured_product(i) % p, -1, p)
+
+    def decompose(self, value: int) -> List[int]:
+        """Map an integer in ``[0, q)`` to its residue vector."""
+        return [value % m.value for m in self.moduli]
+
+    def compose(self, residues: Sequence[int]) -> int:
+        """CRT-reconstruct the integer in ``[0, q)`` from residues.
+
+        Implements ``a = sum_i a_i π_i [π_i^{-1}]_{p_i}  (mod q)``
+        (the inverse mapping of Section 2).
+        """
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue count does not match basis size")
+        q = self.product
+        acc = 0
+        for i, (r, m) in enumerate(zip(residues, self.moduli)):
+            pi = self.punctured_product(i)
+            acc += (r % m.value) * pi * self.punctured_inverse(i)
+        return acc % q
+
+    def compose_centered(self, residues: Sequence[int]) -> int:
+        """CRT-reconstruct into the centered interval ``(-q/2, q/2]``."""
+        a = self.compose(residues)
+        q = self.product
+        return a - q if a > q // 2 else a
+
+    def drop_last(self) -> "RnsBasis":
+        """Basis with the last modulus removed (rescaling / mod-switch)."""
+        if len(self.moduli) <= 1:
+            raise ValueError("cannot drop the only modulus")
+        return RnsBasis(self.moduli[:-1])
+
+    def extend(self, modulus: Modulus) -> "RnsBasis":
+        """Basis with one extra modulus appended (e.g. the special prime)."""
+        return RnsBasis(self.moduli + (modulus,))
+
+    def gadget_vector(self) -> List[int]:
+        """Section-2 gadget ``g_i = π_i [π_i^{-1}]_{p_i}`` over this basis.
+
+        Satisfies ``<g, g^{-1}(a)> ≡ a (mod q)`` and, crucially for
+        Algorithm 7, ``g_i ≡ 1 (mod p_i)`` and ``g_i ≡ 0 (mod p_j)`` for
+        ``j != i``.
+        """
+        return [
+            self.punctured_product(i) * self.punctured_inverse(i)
+            for i in range(len(self.moduli))
+        ]
+
+    def gadget_decompose(self, residues: Sequence[int]) -> List[int]:
+        """``g^{-1}``: the residue vector itself (full-RNS decomposition)."""
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue count does not match basis size")
+        return [r % m.value for r, m in zip(residues, self.moduli)]
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,67 @@
+"""Randomness for RLWE: key, error, and uniform distributions.
+
+CKKS.Setup fixes a key distribution ``χ`` (uniform ternary) and an error
+distribution ``Ω`` (discrete Gaussian with standard deviation 3.2,
+truncated at six sigmas -- the values used by Microsoft SEAL and the HE
+security standard [1]).  All sampling is routed through a seeded
+``random.Random`` so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.ckks.modarith import Modulus
+from repro.ckks.poly import RnsPolynomial
+
+#: Standard deviation of the RLWE error distribution (HE standard / SEAL).
+ERROR_STDDEV = 3.2
+
+#: Truncation bound in standard deviations.
+ERROR_TRUNCATION_SIGMAS = 6
+
+
+class Sampler:
+    """Seeded source of the three RLWE distributions."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+
+    def ternary_coeffs(self, n: int) -> List[int]:
+        """Uniform ternary vector in ``{-1, 0, 1}^n`` (the key distribution χ)."""
+        return [self._rng.randrange(3) - 1 for _ in range(n)]
+
+    def gaussian_coeffs(self, n: int, stddev: float = ERROR_STDDEV) -> List[int]:
+        """Truncated rounded Gaussian vector (the error distribution Ω)."""
+        bound = math.ceil(ERROR_TRUNCATION_SIGMAS * stddev)
+        out = []
+        for _ in range(n):
+            while True:
+                v = round(self._rng.gauss(0.0, stddev))
+                if abs(v) <= bound:
+                    out.append(v)
+                    break
+        return out
+
+    def uniform_residues(self, n: int, moduli: Sequence[Modulus]) -> RnsPolynomial:
+        """Sample ``a <- U(R_q)`` directly in NTT form.
+
+        The NTT is a bijection on ``Z_p^n``, so sampling uniform residues
+        in the evaluation domain is distributionally identical to sampling
+        in the coefficient domain and transforming -- and it is what both
+        SEAL and HEAX do to avoid a pointless NTT.
+        """
+        residues = [
+            [self._rng.randrange(m.value) for _ in range(n)] for m in moduli
+        ]
+        return RnsPolynomial(n, list(moduli), residues, is_ntt=True)
+
+    def ternary_poly(self, n: int, moduli: Sequence[Modulus]) -> RnsPolynomial:
+        """Ternary polynomial lifted into every RNS component (coeff form)."""
+        return RnsPolynomial.from_int_coeffs(self.ternary_coeffs(n), moduli)
+
+    def gaussian_poly(self, n: int, moduli: Sequence[Modulus]) -> RnsPolynomial:
+        """Error polynomial lifted into every RNS component (coeff form)."""
+        return RnsPolynomial.from_int_coeffs(self.gaussian_coeffs(n), moduli)

@@ -1,0 +1,166 @@
+"""Byte-level serialization of ciphertexts, plaintexts and keys.
+
+Two purposes:
+
+1. a real wire format so the library round-trips objects (client <->
+   server in the paper's deployment story);
+2. exact size accounting feeding the system model -- PCIe messages
+   (Section 5.2 sends whole polynomials of ``2^15``-``2^17`` bytes) and
+   DRAM-resident key material (Section 5.1).
+
+Format: a small fixed header (magic, version, kind, n, component/basis
+counts, NTT flag, scale as IEEE-754) followed by residue polynomials as
+little-endian 8-byte words -- matching the 64-bit wire word the paper's
+bandwidth arithmetic assumes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import KswitchKey
+from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
+
+MAGIC = b"HEAX"
+VERSION = 1
+WORD_BYTES = 8
+
+_KIND_CIPHERTEXT = 1
+_KIND_PLAINTEXT = 2
+_KIND_KSWITCH_KEY = 3
+
+_HEADER = struct.Struct("<4sBBIHHd")  # magic, ver, kind, n, comps, rns, scale
+
+#: Fixed header size in bytes (exposed for size accounting).
+HEADER_BYTES = _HEADER.size
+
+
+def polynomial_wire_bytes(n: int) -> int:
+    """Wire size of one residue polynomial -- the paper's PCIe unit."""
+    return n * WORD_BYTES
+
+
+def ciphertext_wire_bytes(n: int, size: int, level_count: int) -> int:
+    """Payload bytes of a ciphertext (header excluded)."""
+    return size * level_count * polynomial_wire_bytes(n)
+
+
+def _pack_residues(poly: RnsPolynomial, out: List[bytes]) -> None:
+    for row in poly.residues:
+        out.append(b"".join(v.to_bytes(WORD_BYTES, "little") for v in row))
+
+
+def _unpack_residues(data: memoryview, offset: int, n: int, count: int):
+    rows = []
+    for _ in range(count):
+        row = [
+            int.from_bytes(data[offset + i * WORD_BYTES : offset + (i + 1) * WORD_BYTES], "little")
+            for i in range(n)
+        ]
+        rows.append(row)
+        offset += n * WORD_BYTES
+    return rows, offset
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    header = _HEADER.pack(
+        MAGIC, VERSION, _KIND_CIPHERTEXT, ct.n, ct.size,
+        ct.level_count | (0x8000 if ct.is_ntt else 0), ct.scale,
+    )
+    chunks = [header]
+    for poly in ct.polys:
+        _pack_residues(poly, chunks)
+    return b"".join(chunks)
+
+
+def serialize_plaintext(pt: Plaintext) -> bytes:
+    header = _HEADER.pack(
+        MAGIC, VERSION, _KIND_PLAINTEXT, pt.n, 1,
+        pt.level_count | (0x8000 if pt.poly.is_ntt else 0), pt.scale,
+    )
+    chunks = [header]
+    _pack_residues(pt.poly, chunks)
+    return b"".join(chunks)
+
+
+def _parse_header(data: bytes) -> Tuple[int, int, int, int, bool, float]:
+    magic, version, kind, n, comps, rns_flags, scale = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ValueError("not a HEAX-serialized object")
+    if version != VERSION:
+        raise ValueError(f"unsupported version {version}")
+    is_ntt = bool(rns_flags & 0x8000)
+    rns = rns_flags & 0x7FFF
+    return kind, n, comps, rns, is_ntt, scale
+
+
+def deserialize_ciphertext(data: bytes, context: CkksContext) -> Ciphertext:
+    kind, n, comps, rns, is_ntt, scale = _parse_header(data)
+    if kind != _KIND_CIPHERTEXT:
+        raise ValueError("serialized object is not a ciphertext")
+    if n != context.n:
+        raise ValueError(f"ring mismatch: {n} vs context {context.n}")
+    moduli = context.basis_at_level(rns).moduli
+    view = memoryview(data)
+    offset = _HEADER.size
+    polys = []
+    for _ in range(comps):
+        rows, offset = _unpack_residues(view, offset, n, rns)
+        polys.append(RnsPolynomial(n, moduli, rows, is_ntt))
+    return Ciphertext(polys, scale)
+
+
+def deserialize_plaintext(data: bytes, context: CkksContext) -> Plaintext:
+    kind, n, comps, rns, is_ntt, scale = _parse_header(data)
+    if kind != _KIND_PLAINTEXT:
+        raise ValueError("serialized object is not a plaintext")
+    moduli = context.basis_at_level(rns).moduli
+    rows, _ = _unpack_residues(memoryview(data), _HEADER.size, n, rns)
+    return Plaintext(RnsPolynomial(n, moduli, rows, is_ntt), scale)
+
+
+def serialize_kswitch_key(ksk: KswitchKey) -> bytes:
+    """Serialize a key-switching key (the object streamed from DRAM)."""
+    d0, _ = ksk.digit(0)
+    header = _HEADER.pack(
+        MAGIC, VERSION, _KIND_KSWITCH_KEY, d0.n, ksk.digit_count,
+        d0.level_count | 0x8000, 0.0,
+    )
+    chunks = [header]
+    for b, a in ksk.digits:
+        _pack_residues(b, chunks)
+        _pack_residues(a, chunks)
+    return b"".join(chunks)
+
+
+def deserialize_kswitch_key(data: bytes, context: CkksContext) -> KswitchKey:
+    kind, n, digits, rns, _, _ = _parse_header(data)
+    if kind != _KIND_KSWITCH_KEY:
+        raise ValueError("serialized object is not a key-switching key")
+    moduli = list(context.key_basis.moduli)
+    if rns != len(moduli):
+        raise ValueError("key basis size mismatch")
+    view = memoryview(data)
+    offset = _HEADER.size
+    out = []
+    for _ in range(digits):
+        rows_b, offset = _unpack_residues(view, offset, n, rns)
+        rows_a, offset = _unpack_residues(view, offset, n, rns)
+        out.append(
+            (
+                RnsPolynomial(n, moduli, rows_b, True),
+                RnsPolynomial(n, moduli, rows_a, True),
+            )
+        )
+    return KswitchKey(out)
+
+
+def kswitch_key_wire_bytes(n: int, k: int) -> int:
+    """ksk payload: k digits x 2 columns x (k+1) residues x n words.
+
+    For Set-C this is the 151 Mb (two column sets combined) of Section
+    5.1's DRAM-bandwidth argument.
+    """
+    return k * 2 * (k + 1) * n * WORD_BYTES

@@ -1,0 +1,39 @@
+"""The HEAX accelerator model -- the paper's primary contribution.
+
+Functional + cycle-accurate simulators of the three HEAX building blocks
+(NTT/INTT module, MULT module, KeySwitch module), the architecture-
+balancing equations of Section 4.3, the resource model of Section 6.2,
+and the closed-form performance model validated against Tables 7 and 8.
+"""
+
+from repro.core.arch import (
+    KeySwitchArchitecture,
+    derive_architecture,
+    TABLE5_ARCHITECTURES,
+)
+from repro.core.cores import CORE_SPECS, CoreSpec
+from repro.core.memory import M20K_DEPTH, M20K_WIDTH, MemoryLayout
+from repro.core.ntt_module import NTTModuleSim
+from repro.core.mult_module import MultModuleSim
+from repro.core.keyswitch_module import KeySwitchModuleSim
+from repro.core.perf import PerformanceModel
+from repro.core.resources import ResourceModel, ResourceVector
+from repro.core.accelerator import HeaxAccelerator
+
+__all__ = [
+    "KeySwitchArchitecture",
+    "derive_architecture",
+    "TABLE5_ARCHITECTURES",
+    "CORE_SPECS",
+    "CoreSpec",
+    "M20K_DEPTH",
+    "M20K_WIDTH",
+    "MemoryLayout",
+    "NTTModuleSim",
+    "MultModuleSim",
+    "KeySwitchModuleSim",
+    "PerformanceModel",
+    "ResourceModel",
+    "ResourceVector",
+    "HeaxAccelerator",
+]

@@ -1,0 +1,272 @@
+"""Functional, pipelined simulator of the HEAX KeySwitch module.
+
+Models Section 4.3 / Figures 5 and 6.  The dataflow for one key switch of
+a level-``k`` polynomial (all data kept in NTT form, one RNS component
+entering at a time):
+
+1. **INTT0** -- the incoming component ``c_i`` returns to coefficient
+   form (Algorithm 7, line 3).
+2. **NTT0 layer** (``m0`` modules) -- the coefficient polynomial is
+   reduced mod every *other* prime (including the special prime) and
+   transformed back (lines 6-7); the ``i == j`` case reuses the input
+   (line 9).
+3. **DyadMult layer** (``m0 + 1`` modules) -- products against both key
+   columns accumulate into two BRAM bank sets (lines 11-12, 16-17); the
+   extra module handles the original input polynomial and is
+   *synchronized* with the others, which is what creates Data
+   Dependency 1 and the ``f1`` input buffers.
+4. After ``k`` iterations, **Modulus Switch**: INTT1 brings the
+   special-prime row back to coefficient form, NTT1 re-expands it to all
+   data primes, and the MS module multiplies by ``p^{-1}`` and subtracts
+   (Algorithm 7 line 19 / Algorithm 6), producing Output Poly 0/1.
+
+The functional path is asserted equal to
+:meth:`repro.ckks.evaluator.Evaluator.keyswitch_polynomial`; the timing
+path implements the Section 4.3 rate equations, reproducing the
+KeySwitch throughput of Table 8 (``k * n log n / (2 nc_INTT0)`` cycles
+per operation for the balanced designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import KswitchKey
+from repro.ckks.poly import RnsPolynomial
+from repro.core.arch import KeySwitchArchitecture
+
+
+@dataclass(frozen=True)
+class PipelineInterval:
+    """One module-occupancy interval (used to render Figure 6)."""
+
+    module: str
+    op_index: int
+    start: float
+    end: float
+    label: str
+
+
+@dataclass
+class KeySwitchStats:
+    """Timing summary of one (or a train of) KeySwitch operations."""
+
+    n: int
+    level_count: int
+    arch_name: str
+    stage_busy_cycles: Dict[str, float]
+    throughput_cycles: float
+    latency_cycles: float
+    timeline: List[PipelineInterval] = field(default_factory=list)
+
+    @property
+    def bottleneck(self) -> str:
+        return max(self.stage_busy_cycles, key=self.stage_busy_cycles.get)
+
+
+class KeySwitchModuleSim:
+    """KeySwitch engine for one architecture over one CKKS context."""
+
+    def __init__(self, context: CkksContext, arch: KeySwitchArchitecture):
+        if context.n != arch.n and context.n >= 4096:
+            raise ValueError(
+                f"architecture {arch.name} is for n={arch.n}, context has "
+                f"n={context.n}"
+            )
+        self.context = context
+        self.arch = arch
+
+    # ------------------------------------------------------------------
+    # functional path (bit-exact vs the evaluator)
+    # ------------------------------------------------------------------
+    def run(
+        self, target: RnsPolynomial, ksk: KswitchKey
+    ) -> Tuple[Tuple[RnsPolynomial, RnsPolynomial], KeySwitchStats]:
+        """Key-switch one NTT-form polynomial; return outputs and stats."""
+        ctx = self.context
+        if not target.is_ntt:
+            raise ValueError("KeySwitch input must be in NTT form")
+        lc = target.level_count
+        data_moduli = list(target.moduli)
+        special = ctx.special_modulus
+        ext_moduli = data_moduli + [special]
+        n = target.n
+
+        # Two accumulation bank sets (Figure 5 "Output Mem" BRAM banks).
+        acc0 = RnsPolynomial(n, ext_moduli, is_ntt=True)
+        acc1 = RnsPolynomial(n, ext_moduli, is_ntt=True)
+        key_rows0, key_rows1 = [], []
+        for i in range(lc):
+            d0, d1 = ksk.digit(i)
+            key_rows0.append(_rows_for(d0, ext_moduli))
+            key_rows1.append(_rows_for(d1, ext_moduli))
+
+        for i in range(lc):
+            p_i = data_moduli[i]
+            # --- INTT0 -----------------------------------------------
+            a = ctx.tables(p_i).inverse(target.residues[i])
+            # --- NTT0 fan-out + DyadMult accumulation ----------------
+            for j, m_j in enumerate(ext_moduli):
+                if m_j.value == p_i.value:
+                    # the synchronized input-poly DyadMult module
+                    b_ntt = target.residues[i]
+                else:
+                    b = [x % m_j.value for x in a]
+                    b_ntt = ctx.tables(m_j).forward(b)
+                _dyadic_mac(acc0.residues[j], b_ntt, key_rows0[i][j], m_j)
+                _dyadic_mac(acc1.residues[j], b_ntt, key_rows1[i][j], m_j)
+
+        # --- Modulus Switch (INTT1 -> NTT1 -> MS) ---------------------
+        out0 = self._modulus_switch(acc0)
+        out1 = self._modulus_switch(acc1)
+        stats = self.timing(level_count=lc)
+        return (out0, out1), stats
+
+    def _modulus_switch(self, acc: RnsPolynomial) -> RnsPolynomial:
+        """Floor by the special prime (Algorithm 6 on the accumulator)."""
+        ctx = self.context
+        special = acc.moduli[-1]
+        a = ctx.tables(special).inverse(acc.residues[-1])
+        out_moduli = acc.moduli[:-1]
+        rows = []
+        for i, m in enumerate(out_moduli):
+            p = m.value
+            inv_sp = pow(special.value % p, -1, p)
+            r_ntt = ctx.tables(m).forward([x % p for x in a])
+            row = []
+            for c, rr in zip(acc.residues[i], r_ntt):
+                d = c - rr
+                if d < 0:
+                    d += p
+                row.append(m.mul(d, inv_sp))
+            rows.append(row)
+        return RnsPolynomial(acc.n, out_moduli, rows, is_ntt=True)
+
+    # ------------------------------------------------------------------
+    # timing path (Section 4.3 rate equations)
+    # ------------------------------------------------------------------
+    def timing(self, level_count: Optional[int] = None) -> KeySwitchStats:
+        """Per-KeySwitch busy cycles of every module layer.
+
+        Uses the *architecture's* ring size ``n`` (the hardware is built
+        for it) and the requested ``level_count`` (defaults to the
+        architecture's ``k``): lower-level ciphertexts iterate fewer
+        times, exactly as in the hardware.
+        """
+        arch = self.arch
+        n, log_n = arch.n, arch.log_n
+        k = arch.k if level_count is None else level_count
+        transforms_per_component = k  # (k-1 other data primes + special)
+
+        t_intt0 = n * log_n / (2 * arch.intt0[1])
+        t_ntt0_single = n * log_n / (2 * arch.ntt0[1])
+        per_module_transforms = transforms_per_component / arch.m0
+        t_dyad_pair = 2 * n / arch.dyad[1]  # two key columns
+        t_intt1 = n * log_n / (2 * arch.intt1[1])
+        t_ntt1_single = n * log_n / (2 * arch.ntt1[1])
+        t_ms_prime = n / arch.ms[1]
+
+        busy = {
+            "INTT0": k * t_intt0,
+            "NTT0": k * per_module_transforms * t_ntt0_single,
+            "DyadMult": k * per_module_transforms * t_dyad_pair,
+            "DyadMult(input)": k * t_dyad_pair,
+            "INTT1": t_intt1,  # one poly per module (two modules)
+            "NTT1": k * t_ntt1_single,  # k data primes per poly
+            "MS": k * t_ms_prime,
+        }
+        throughput = max(busy.values())
+        latency = (
+            k * t_intt0
+            + per_module_transforms * t_ntt0_single
+            + t_dyad_pair
+            + t_intt1
+            + k * t_ntt1_single
+            + k * t_ms_prime
+        )
+        return KeySwitchStats(
+            n=n,
+            level_count=k,
+            arch_name=arch.name,
+            stage_busy_cycles=busy,
+            throughput_cycles=throughput,
+            latency_cycles=latency,
+        )
+
+    def pipeline_timeline(self, num_ops: int = 3) -> List[PipelineInterval]:
+        """Module-occupancy schedule for a train of KeySwitch ops (Fig 6).
+
+        Consecutive operations are issued at the steady-state period, so
+        the rendered timeline shows several key switches in flight in
+        different pipeline layers simultaneously, including the delayed,
+        synchronized input-poly DyadMult that motivates ``f1``-deep
+        input buffering.
+        """
+        stats = self.timing()
+        arch = self.arch
+        k = arch.k
+        period = stats.throughput_cycles
+        t_intt0 = stats.stage_busy_cycles["INTT0"] / k
+        t_ntt0 = stats.stage_busy_cycles["NTT0"] / k
+        t_dyad = stats.stage_busy_cycles["DyadMult"] / k
+        intervals: List[PipelineInterval] = []
+        for op in range(num_ops):
+            base = op * period
+            for i in range(k):
+                s = base + i * t_intt0
+                intervals.append(
+                    PipelineInterval("INTT0", op, s, s + t_intt0, f"c[{i}]")
+                )
+                intervals.append(
+                    PipelineInterval(
+                        "NTT0", op, s + t_intt0, s + t_intt0 + t_ntt0, f"c[{i}]"
+                    )
+                )
+                d0 = s + t_intt0 + t_ntt0
+                intervals.append(
+                    PipelineInterval("DyadMult", op, d0, d0 + t_dyad, f"c[{i}]")
+                )
+                # the synchronized input-poly product of iteration i
+                intervals.append(
+                    PipelineInterval(
+                        "DyadMult(input)", op, d0, d0 + t_dyad, f"c[{i}]"
+                    )
+                )
+            tail0 = base + k * t_intt0 + t_ntt0 + t_dyad
+            intervals.append(
+                PipelineInterval(
+                    "INTT1", op, tail0, tail0 + stats.stage_busy_cycles["INTT1"], "MS"
+                )
+            )
+            t1 = tail0 + stats.stage_busy_cycles["INTT1"]
+            intervals.append(
+                PipelineInterval(
+                    "NTT1", op, t1, t1 + stats.stage_busy_cycles["NTT1"], "MS"
+                )
+            )
+            t2 = t1 + stats.stage_busy_cycles["NTT1"]
+            intervals.append(
+                PipelineInterval(
+                    "MS", op, t2, t2 + stats.stage_busy_cycles["MS"], "MS"
+                )
+            )
+        return intervals
+
+    def buffer_requirements(self) -> Dict[str, int]:
+        """The f1/f2 buffer multiplicities of the two data dependencies."""
+        return {"f1_input_poly_buffers": self.arch.f1, "f2_dyad_output_buffers": self.arch.f2}
+
+
+def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
+    index = {m.value: i for i, m in enumerate(poly.moduli)}
+    return [poly.residues[index[m.value]] for m in moduli]
+
+
+def _dyadic_mac(acc: List[int], x: List[int], y: List[int], modulus) -> None:
+    p = modulus.value
+    mul = modulus.mul
+    for t in range(len(acc)):
+        v = acc[t] + mul(x[t], y[t])
+        acc[t] = v - p if v >= p else v

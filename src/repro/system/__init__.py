@@ -1,0 +1,18 @@
+"""Board & host substrate: FPGA boards, PCIe, DRAM, scheduler, CPU model."""
+
+from repro.system.board import Board, get_board
+from repro.system.cpu_model import SealCpuModel
+from repro.system.dram import DramModel, KskStreamingPlan
+from repro.system.pcie import PcieModel
+from repro.system.scheduler import HostScheduler, MemoryMap
+
+__all__ = [
+    "Board",
+    "get_board",
+    "SealCpuModel",
+    "DramModel",
+    "KskStreamingPlan",
+    "PcieModel",
+    "HostScheduler",
+    "MemoryMap",
+]

@@ -1,0 +1,61 @@
+"""FPGA board descriptions (Table 1) and budget checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.paper_data import TABLE1_BOARDS, BoardSpec
+
+
+@dataclass(frozen=True)
+class Board:
+    """A board with resource budgets and link characteristics."""
+
+    spec: BoardSpec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def chip(self) -> str:
+        return self.spec.chip
+
+    @property
+    def clock_hz(self) -> float:
+        return self.spec.clock_hz
+
+    @property
+    def pcie_bytes_per_sec(self) -> float:
+        """Per-direction PCIe bandwidth in bytes/second."""
+        return self.spec.pcie_gbps * 1e9
+
+    @property
+    def dram_bytes_per_sec(self) -> float:
+        """Aggregate unidirectional DRAM bandwidth in bytes/second."""
+        return self.spec.dram_bandwidth_gbps * 1e9
+
+    def budget(self) -> Dict[str, int]:
+        return {
+            "dsp": self.spec.dsp,
+            "reg": self.spec.reg,
+            "alm": self.spec.alm,
+            "bram_bits": self.spec.bram_bits,
+            "m20k": self.spec.m20k,
+        }
+
+    def check_fit(self, usage: Dict[str, int]) -> Dict[str, float]:
+        """Fractional utilization per resource; values > 1 do not fit."""
+        budget = self.budget()
+        return {k: usage.get(k, 0) / budget[k] for k in budget}
+
+
+def get_board(device: str) -> Board:
+    """Board model by device key ('Arria10' or 'Stratix10')."""
+    try:
+        return Board(TABLE1_BOARDS[device])
+    except KeyError:
+        raise ValueError(
+            f"unknown device {device!r}; expected one of {sorted(TABLE1_BOARDS)}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Internal-consistency checks over the transcribed paper data."""
+
+import math
+
+import pytest
+
+from repro.analysis.paper_data import (
+    HEADLINE_SPEEDUP_RANGE,
+    TABLE1_BOARDS,
+    TABLE2_PARAM_SETS,
+    TABLE3_CORES,
+    TABLE4_MODULES,
+    TABLE4_SHELLS,
+    TABLE5_LAYOUTS,
+    TABLE6_DESIGNS,
+    TABLE7_LOW_LEVEL,
+    TABLE8_HIGH_LEVEL,
+)
+
+
+class TestTableShapes:
+    def test_counts(self):
+        assert len(TABLE1_BOARDS) == 2
+        assert len(TABLE2_PARAM_SETS) == 3
+        assert len(TABLE3_CORES) == 3
+        assert len(TABLE4_MODULES) == 12
+        assert len(TABLE5_LAYOUTS) == 4
+        assert len(TABLE6_DESIGNS) == 4
+        assert len(TABLE7_LOW_LEVEL) == 4
+        assert len(TABLE8_HIGH_LEVEL) == 4
+
+
+class TestInternalConsistency:
+    def test_table2_k_matches_n_scaling(self):
+        """k doubles with each n doubling across the sets."""
+        sets = sorted(TABLE2_PARAM_SETS.values(), key=lambda s: s.n)
+        for a, b in zip(sets, sets[1:]):
+            assert b.n == 2 * a.n
+            assert b.k == 2 * a.k
+
+    def test_table4_dsp_is_cores_times_core_dsp(self):
+        for (kind, nc), row in TABLE4_MODULES.items():
+            core_dsp = {"mult": 22, "ntt": 10, "intt": 10}[kind]
+            assert row.dsp == nc * core_dsp
+
+    def test_table4_printed_cycle_typos_flagged(self):
+        """MULT 16/32-core rows print half the model value (DESIGN.md §5)."""
+        for nc in (16, 32):
+            row = TABLE4_MODULES[("mult", nc)]
+            assert row.cycles_model == 4096 // nc
+            assert row.cycles == row.cycles_model // 2
+        for nc in (4, 8):
+            row = TABLE4_MODULES[("mult", nc)]
+            assert row.cycles == row.cycles_model
+
+    def test_table4_ntt_cycles_match_formula(self):
+        for nc in (4, 8, 16, 32):
+            assert TABLE4_MODULES[("ntt", nc)].cycles == 4096 * 12 // (2 * nc)
+
+    def test_table6_percentages_recompute(self):
+        """Printed utilization percentages agree with Table 1 budgets."""
+        for (dev, _), row in TABLE6_DESIGNS.items():
+            board = TABLE1_BOARDS[dev]
+            assert row.dsp_pct == pytest.approx(100 * row.dsp / board.dsp, abs=1.5)
+            assert row.m20k_pct == pytest.approx(100 * row.m20k / board.m20k, abs=1.5)
+
+    def test_table7_speedups_recompute(self):
+        for row in TABLE7_LOW_LEVEL.values():
+            assert row.ntt_speedup == pytest.approx(row.ntt_heax / row.ntt_cpu, abs=0.06)
+            assert row.dyadic_speedup == pytest.approx(
+                row.dyadic_heax / row.dyadic_cpu, abs=0.06
+            )
+
+    def test_table8_speedups_recompute(self):
+        for row in TABLE8_HIGH_LEVEL.values():
+            assert row.keyswitch_speedup == pytest.approx(
+                row.keyswitch_heax / row.keyswitch_cpu, abs=0.4
+            )
+            assert row.multrelin_speedup == pytest.approx(
+                row.multrelin_heax / row.multrelin_cpu, abs=0.4
+            )
+
+    def test_headline_range_from_table8(self):
+        """The abstract's 164-268x comes from Stratix Table 8 speedups."""
+        lo, hi = HEADLINE_SPEEDUP_RANGE
+        stratix = [
+            s
+            for (dev, _), row in TABLE8_HIGH_LEVEL.items()
+            if dev == "Stratix10"
+            for s in (row.keyswitch_speedup, row.multrelin_speedup)
+        ]
+        assert round(min(stratix)) == lo  # 163.5 rounds to the quoted 164
+        assert math.floor(max(stratix)) == hi
+
+    def test_cpu_columns_identical_across_devices_set_a(self):
+        """Both Set-A rows measured the same CPU."""
+        a = TABLE7_LOW_LEVEL[("Arria10", "Set-A")]
+        s = TABLE7_LOW_LEVEL[("Stratix10", "Set-A")]
+        assert (a.ntt_cpu, a.intt_cpu, a.dyadic_cpu) == (s.ntt_cpu, s.intt_cpu, s.dyadic_cpu)
+
+    def test_shells_present_for_both_devices(self):
+        assert set(TABLE4_SHELLS) == {"Arria10", "Stratix10"}

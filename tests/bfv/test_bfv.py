@@ -1,0 +1,172 @@
+"""Tests for the BFV baseline scheme."""
+
+import pytest
+
+from repro.bfv import (
+    BfvContext,
+    BfvDecryptor,
+    BfvEncoder,
+    BfvEncryptor,
+    BfvEvaluator,
+    BfvKeyGenerator,
+    BfvParameters,
+)
+from repro.bfv.scheme import toy_bfv_parameters
+
+
+@pytest.fixture(scope="module")
+def bfv():
+    ctx = BfvContext(toy_bfv_parameters(n=64))
+    kg = BfvKeyGenerator(ctx, seed=11)
+    pk = kg.public_key()
+    return {
+        "ctx": ctx,
+        "keygen": kg,
+        "encoder": BfvEncoder(ctx),
+        "encryptor": BfvEncryptor(ctx, pk, seed=12),
+        "decryptor": BfvDecryptor(ctx, kg.secret),
+        "evaluator": BfvEvaluator(ctx),
+        "relin": kg.relin_key(),
+    }
+
+
+class TestParameters:
+    def test_plain_modulus_congruence_enforced(self):
+        with pytest.raises(ValueError):
+            BfvParameters(64, 97, (30, 30), allow_insecure=True)  # 97 != 1 mod 128
+
+    def test_plain_modulus_primality_enforced(self):
+        with pytest.raises(ValueError):
+            BfvParameters(64, 129, (30, 30), allow_insecure=True)
+
+    def test_security_floor(self):
+        with pytest.raises(ValueError):
+            BfvParameters(64, 12289, (30, 30))
+
+    def test_delta_is_q_over_t(self, bfv):
+        ctx = bfv["ctx"]
+        assert ctx.delta == ctx.q // ctx.t
+
+    def test_extended_basis_large_enough(self, bfv):
+        ctx = bfv["ctx"]
+        assert ctx.ext_basis.product > 4 * ctx.n * ctx.q * ctx.q
+
+
+class TestBatchingEncoder:
+    def test_roundtrip(self, bfv):
+        vals = [0, 1, 2, 12345, bfv["ctx"].t - 1]
+        pt = bfv["encoder"].encode(vals)
+        out = bfv["encoder"].decode(pt)
+        assert out[: len(vals)] == vals
+        assert all(v == 0 for v in out[len(vals):])
+
+    def test_too_many_values(self, bfv):
+        with pytest.raises(ValueError):
+            bfv["encoder"].encode([1] * 65)
+
+    def test_values_reduced_mod_t(self, bfv):
+        t = bfv["ctx"].t
+        pt = bfv["encoder"].encode([t + 5])
+        assert bfv["encoder"].decode(pt)[0] == 5
+
+
+class TestEncryption:
+    def test_roundtrip(self, bfv):
+        vals = [7, 0, 999]
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode(vals))
+        out = bfv["encoder"].decode(bfv["decryptor"].decrypt(ct))
+        assert out[:3] == vals
+
+    def test_fresh_noise_budget_positive(self, bfv):
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode([1]))
+        assert bfv["decryptor"].noise_budget_bits(ct) > 15
+
+    def test_exact_arithmetic_no_approximation(self, bfv):
+        """BFV is exact: large slot values decrypt verbatim (contrast
+        with CKKS's approximate decryption)."""
+        t = bfv["ctx"].t
+        vals = [t - 1, t // 2, 1]
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode(vals))
+        assert bfv["encoder"].decode(bfv["decryptor"].decrypt(ct))[:3] == vals
+
+
+class TestHomomorphicOps:
+    def test_add(self, bfv):
+        t = bfv["ctx"].t
+        a = bfv["encryptor"].encrypt(bfv["encoder"].encode([100, t - 1]))
+        b = bfv["encryptor"].encrypt(bfv["encoder"].encode([23, 2]))
+        out = bfv["encoder"].decode(bfv["decryptor"].decrypt(bfv["evaluator"].add(a, b)))
+        assert out[:2] == [123, 1]  # wraps mod t
+
+    def test_multiply_slotwise(self, bfv):
+        a = bfv["encryptor"].encrypt(bfv["encoder"].encode([3, 5, 7]))
+        b = bfv["encryptor"].encrypt(bfv["encoder"].encode([11, 13, 17]))
+        prod = bfv["evaluator"].multiply(a, b)
+        assert prod.size == 3
+        out = bfv["encoder"].decode(bfv["decryptor"].decrypt(prod))
+        assert out[:3] == [33, 65, 119]
+
+    def test_relinearize_preserves_values(self, bfv):
+        a = bfv["encryptor"].encrypt(bfv["encoder"].encode([9, 4]))
+        b = bfv["encryptor"].encrypt(bfv["encoder"].encode([2, 25]))
+        rel = bfv["evaluator"].relinearize(
+            bfv["evaluator"].multiply(a, b), bfv["relin"]
+        )
+        assert rel.size == 2
+        out = bfv["encoder"].decode(bfv["decryptor"].decrypt(rel))
+        assert out[:2] == [18, 100]
+
+    def test_relinearize_requires_size3(self, bfv):
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode([1]))
+        with pytest.raises(ValueError):
+            bfv["evaluator"].relinearize(ct, bfv["relin"])
+
+    def test_multiply_plain(self, bfv):
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode([6, 7]))
+        pt = bfv["encoder"].encode([10, 100])
+        out = bfv["encoder"].decode(
+            bfv["decryptor"].decrypt(bfv["evaluator"].multiply_plain(ct, pt))
+        )
+        assert out[:2] == [60, 700]
+
+    def test_add_plain(self, bfv):
+        ct = bfv["encryptor"].encrypt(bfv["encoder"].encode([6]))
+        pt = bfv["encoder"].encode([100])
+        out = bfv["encoder"].decode(
+            bfv["decryptor"].decrypt(bfv["evaluator"].add_plain(ct, pt))
+        )
+        assert out[0] == 106
+
+    def test_multiplication_consumes_noise_budget(self, bfv):
+        a = bfv["encryptor"].encrypt(bfv["encoder"].encode([2]))
+        b = bfv["encryptor"].encrypt(bfv["encoder"].encode([3]))
+        fresh = bfv["decryptor"].noise_budget_bits(a)
+        prod = bfv["evaluator"].multiply(a, b)
+        assert bfv["decryptor"].noise_budget_bits(prod) < fresh
+
+
+class TestExactTensoring:
+    def test_exact_product_matches_schoolbook(self, bfv):
+        """The extended-RNS exact multiply equals big-int schoolbook."""
+        ctx = bfv["ctx"]
+        import random
+
+        rng = random.Random(3)
+        a = [rng.randrange(-1000, 1000) for _ in range(ctx.n)]
+        b = [rng.randrange(-1000, 1000) for _ in range(ctx.n)]
+        got = ctx.exact_negacyclic_multiply(a, b)
+        ref = [0] * ctx.n
+        for i in range(ctx.n):
+            for j in range(ctx.n):
+                k = i + j
+                if k < ctx.n:
+                    ref[k] += a[i] * b[j]
+                else:
+                    ref[k - ctx.n] -= a[i] * b[j]
+        assert got == ref
+
+    def test_scale_round(self, bfv):
+        ctx = bfv["ctx"]
+        assert ctx.scale_round_t_over_q(ctx.q) == ctx.t
+        assert ctx.scale_round_t_over_q(0) == 0
+        assert ctx.scale_round_t_over_q(-ctx.q) == -ctx.t

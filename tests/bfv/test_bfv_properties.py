@@ -1,0 +1,64 @@
+"""Property-based tests for the BFV baseline (exactness is the point)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bfv import (
+    BfvContext,
+    BfvDecryptor,
+    BfvEncoder,
+    BfvEncryptor,
+    BfvEvaluator,
+    BfvKeyGenerator,
+)
+from repro.bfv.scheme import toy_bfv_parameters
+
+_CTX = BfvContext(toy_bfv_parameters(n=16, q_bits=(30, 29)))
+_KG = BfvKeyGenerator(_CTX, seed=1)
+_PK = _KG.public_key()
+_ENC = BfvEncoder(_CTX)
+_ENCRYPTOR = BfvEncryptor(_CTX, _PK, seed=2)
+_DECRYPTOR = BfvDecryptor(_CTX, _KG.secret)
+_EV = BfvEvaluator(_CTX)
+
+slots = st.lists(
+    st.integers(min_value=0, max_value=_CTX.t - 1), min_size=16, max_size=16
+)
+
+
+class TestBfvProperties:
+    @given(slots)
+    @settings(max_examples=20, deadline=None)
+    def test_encrypt_decrypt_exact(self, values):
+        ct = _ENCRYPTOR.encrypt(_ENC.encode(values))
+        assert _ENC.decode(_DECRYPTOR.decrypt(ct)) == values
+
+    @given(slots, slots)
+    @settings(max_examples=15, deadline=None)
+    def test_homomorphic_addition_exact(self, a, b):
+        ca = _ENCRYPTOR.encrypt(_ENC.encode(a))
+        cb = _ENCRYPTOR.encrypt(_ENC.encode(b))
+        out = _ENC.decode(_DECRYPTOR.decrypt(_EV.add(ca, cb)))
+        assert out == [(x + y) % _CTX.t for x, y in zip(a, b)]
+
+    @given(slots, slots)
+    @settings(max_examples=8, deadline=None)
+    def test_homomorphic_multiplication_exact(self, a, b):
+        ca = _ENCRYPTOR.encrypt(_ENC.encode(a))
+        cb = _ENCRYPTOR.encrypt(_ENC.encode(b))
+        out = _ENC.decode(_DECRYPTOR.decrypt(_EV.multiply(ca, cb)))
+        assert out == [(x * y) % _CTX.t for x, y in zip(a, b)]
+
+    @given(slots)
+    @settings(max_examples=10, deadline=None)
+    def test_plain_multiplication_exact(self, a):
+        ct = _ENCRYPTOR.encrypt(_ENC.encode(a))
+        pt = _ENC.encode([3] * 16)
+        out = _ENC.decode(_DECRYPTOR.decrypt(_EV.multiply_plain(ct, pt)))
+        assert out == [(3 * x) % _CTX.t for x in a]
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_round_is_nearest(self, v):
+        got = _CTX.scale_round_t_over_q(v)
+        exact = _CTX.t * v / _CTX.q
+        assert abs(got - exact) <= 0.5

@@ -1,0 +1,152 @@
+"""KeySwitch / relinearization tests (Algorithm 7) and key generation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.sampling import Sampler
+
+VALS_A = np.array([1.0, -2.0, 0.5, 3.0])
+VALS_B = np.array([0.25, 4.0, -1.5, 2.0])
+
+
+def enc(encoder, encryptor, vals, **kw):
+    return encryptor.encrypt(encoder.encode(vals, **kw))
+
+
+def dec(encoder, decryptor, ct, n=4):
+    return encoder.decode(decryptor.decrypt(ct))[:n]
+
+
+class TestKeyGeneration:
+    def test_secret_key_is_ternary(self, toy_context, keygen):
+        s = toy_context.from_ntt(keygen.secret_key.poly)
+        from repro.ckks.rns import RnsBasis
+
+        basis = RnsBasis(s.moduli)
+        for i in range(s.n):
+            v = basis.compose_centered([s.residues[j][i] for j in range(len(s.moduli))])
+            assert v in (-1, 0, 1)
+
+    def test_public_key_decrypts_to_noise(self, toy_context, keygen):
+        """pk = SymEnc(0, s): b + a*s must be small (just the error)."""
+        pk = keygen.public_key()
+        s = keygen.secret_key.restricted(pk.b.moduli)
+        acc = pk.b.add(pk.a.dyadic_multiply(s))
+        coeff = toy_context.from_ntt(acc)
+        from repro.ckks.rns import RnsBasis
+
+        basis = RnsBasis(coeff.moduli)
+        for i in range(coeff.n):
+            v = basis.compose_centered(
+                [coeff.residues[j][i] for j in range(len(coeff.moduli))]
+            )
+            assert abs(v) < 64  # 6-sigma truncated gaussian
+
+    def test_relin_key_digit_count(self, toy_context, relin_key):
+        assert relin_key.digit_count == toy_context.k
+
+    def test_relin_key_rows_over_key_basis(self, toy_context, relin_key):
+        d0, d1 = relin_key.digit(0)
+        assert d0.level_count == toy_context.k + 1
+        assert d1.level_count == toy_context.k + 1
+
+    def test_galois_key_set_membership(self, toy_context, galois_keys):
+        elt = toy_context.galois_element_for_step(1)
+        assert elt in galois_keys
+        assert toy_context.conjugation_element in galois_keys
+        with pytest.raises(KeyError):
+            galois_keys.key_for_element(9999)
+
+
+class TestRelinearize:
+    def test_relinearized_product_decrypts(
+        self, encoder, encryptor, decryptor, evaluator, relin_key
+    ):
+        prod = evaluator.multiply(
+            enc(encoder, encryptor, VALS_A), enc(encoder, encryptor, VALS_B)
+        )
+        rel = evaluator.relinearize(prod, relin_key)
+        assert rel.size == 2
+        assert np.allclose(dec(encoder, decryptor, rel), VALS_A * VALS_B, atol=1e-2)
+
+    def test_relinearize_preserves_scale(
+        self, encoder, encryptor, evaluator, relin_key
+    ):
+        prod = evaluator.multiply(
+            enc(encoder, encryptor, VALS_A), enc(encoder, encryptor, VALS_B)
+        )
+        rel = evaluator.relinearize(prod, relin_key)
+        assert rel.scale == prod.scale
+
+    def test_relinearize_requires_size3(
+        self, encoder, encryptor, evaluator, relin_key
+    ):
+        ct = enc(encoder, encryptor, VALS_A)
+        with pytest.raises(ValueError):
+            evaluator.relinearize(ct, relin_key)
+
+    def test_multiply_relin_fused(
+        self, encoder, encryptor, decryptor, evaluator, relin_key
+    ):
+        out = evaluator.multiply_relin(
+            enc(encoder, encryptor, VALS_A),
+            enc(encoder, encryptor, VALS_B),
+            relin_key,
+        )
+        assert out.size == 2
+        assert np.allclose(dec(encoder, decryptor, out), VALS_A * VALS_B, atol=1e-2)
+
+    def test_relinearize_at_lower_level(
+        self, encoder, encryptor, decryptor, evaluator, relin_key
+    ):
+        """Keys generated at top level must work after rescaling."""
+        a = enc(encoder, encryptor, VALS_A)
+        b = enc(encoder, encryptor, VALS_B)
+        ab = evaluator.rescale(evaluator.relinearize(evaluator.multiply(a, b), relin_key))
+        # second product at level 2
+        sq = evaluator.relinearize(evaluator.multiply(ab, ab), relin_key)
+        assert sq.level_count == 2
+        expected = (VALS_A * VALS_B) ** 2
+        assert np.allclose(dec(encoder, decryptor, sq), expected, atol=0.1)
+
+
+class TestKeySwitchCore:
+    def test_keyswitch_requires_ntt_form(self, toy_context, evaluator, relin_key):
+        from repro.ckks.poly import RnsPolynomial
+
+        coeff = RnsPolynomial.from_int_coeffs(
+            [1] * toy_context.n, toy_context.data_basis.moduli
+        )
+        with pytest.raises(ValueError):
+            evaluator.keyswitch_polynomial(coeff, relin_key)
+
+    def test_keyswitch_output_basis(self, toy_context, evaluator, relin_key):
+        target = Sampler(5).uniform_residues(
+            toy_context.n, toy_context.data_basis.moduli
+        )
+        f0, f1 = evaluator.keyswitch_polynomial(target, relin_key)
+        assert f0.level_count == toy_context.k
+        assert f1.level_count == toy_context.k
+        assert f0.is_ntt and f1.is_ntt
+
+    def test_keyswitch_semantics(self, toy_context, keygen, evaluator, relin_key):
+        """f0 + f1*s ~ target * s^2: the defining key-switch identity."""
+        ctx = toy_context
+        target = Sampler(6).uniform_residues(ctx.n, ctx.data_basis.moduli)
+        f0, f1 = evaluator.keyswitch_polynomial(target, relin_key)
+        s = keygen.secret_key.restricted(ctx.data_basis.moduli)
+        s2 = s.dyadic_multiply(s)
+        lhs = f0.add(f1.dyadic_multiply(s))
+        rhs = target.dyadic_multiply(s2)
+        err = ctx.from_ntt(lhs.sub(rhs))
+        from repro.ckks.rns import RnsBasis
+
+        basis = RnsBasis(err.moduli)
+        max_err = max(
+            abs(basis.compose_centered([err.residues[j][i] for j in range(len(err.moduli))]))
+            for i in range(err.n)
+        )
+        # noise ~ n * p_i * e / P plus flooring error: comfortably below
+        # a few thousand for the toy parameters, astronomically below q.
+        assert max_err < basis.product // 2**40

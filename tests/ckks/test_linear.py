@@ -1,0 +1,185 @@
+"""Tests for the encrypted linear-algebra layer."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.linear import LinearEvaluator, reduction_steps
+
+
+@pytest.fixture(scope="module")
+def linear(toy_context):
+    return LinearEvaluator(toy_context)
+
+
+@pytest.fixture(scope="module")
+def reduction_keys(keygen, toy_context):
+    slots = toy_context.n // 2
+    steps = set(reduction_steps(slots)) | set(range(1, 9))
+    return keygen.galois_keys(sorted(steps))
+
+
+def encrypt_vec(encoder, encryptor, vals, **kw):
+    return encryptor.encrypt(encoder.encode(vals, **kw))
+
+
+class TestReductionSteps:
+    def test_powers_of_two(self):
+        assert reduction_steps(8) == [1, 2, 4]
+        assert reduction_steps(1) == []
+        assert reduction_steps(2) == [1]
+
+
+class TestRotateAndSum:
+    def test_sums_all_slots(
+        self, linear, encoder, encryptor, decryptor, reduction_keys
+    ):
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-1, 1, encoder.slot_count)
+        ct = encrypt_vec(encoder, encryptor, vals)
+        out = linear.rotate_and_sum(ct, encoder.slot_count, reduction_keys)
+        dec = encoder.decode(decryptor.decrypt(out)).real
+        assert np.allclose(dec[0], vals.sum(), atol=0.05)
+
+    def test_rejects_non_power_width(self, linear, encoder, encryptor, reduction_keys):
+        ct = encrypt_vec(encoder, encryptor, [1.0])
+        with pytest.raises(ValueError):
+            linear.rotate_and_sum(ct, 3, reduction_keys)
+
+
+class TestDotPlain:
+    def test_matches_numpy(
+        self, linear, encoder, encryptor, decryptor, reduction_keys
+    ):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, 8)
+        w = rng.uniform(-1, 1, 8)
+        ct = encrypt_vec(encoder, encryptor, x)
+        out = linear.dot_plain(ct, w, reduction_keys)
+        dec = encoder.decode(decryptor.decrypt(out)).real
+        assert np.isclose(dec[0], w @ x, atol=0.02)
+
+    def test_non_power_of_two_width_padded(
+        self, linear, encoder, encryptor, decryptor, reduction_keys
+    ):
+        x = np.array([1.0, 2.0, 3.0])
+        w = np.array([0.5, -1.0, 2.0])
+        ct = encrypt_vec(encoder, encryptor, x)
+        out = linear.dot_plain(ct, w, reduction_keys)
+        dec = encoder.decode(decryptor.decrypt(out)).real
+        assert np.isclose(dec[0], w @ x, atol=0.02)
+
+
+class TestMatvecDiagonal:
+    def test_matches_numpy(
+        self, linear, encoder, encryptor, decryptor, reduction_keys
+    ):
+        rng = np.random.default_rng(2)
+        dim = 8
+        m = rng.uniform(-1, 1, (dim, dim))
+        x = rng.uniform(-1, 1, dim)
+        # pack x cyclically so rotations wrap within the dim window:
+        # replicate x across the first 2*dim slots
+        slots = encoder.slot_count
+        packed = np.zeros(slots)
+        packed[:dim] = x
+        packed[dim : 2 * dim] = x  # wrap margin for rotations < dim
+        ct = encrypt_vec(encoder, encryptor, packed)
+        out = linear.matvec_diagonal(m, ct, reduction_keys)
+        dec = encoder.decode(decryptor.decrypt(out)).real[:dim]
+        assert np.allclose(dec, m @ x, atol=0.05)
+
+    def test_rejects_non_square(self, linear, encoder, encryptor, reduction_keys):
+        ct = encrypt_vec(encoder, encryptor, [1.0])
+        with pytest.raises(ValueError):
+            linear.matvec_diagonal(np.zeros((2, 3)), ct, reduction_keys)
+
+    def test_identity_matrix(
+        self, linear, encoder, encryptor, decryptor, reduction_keys
+    ):
+        dim = 4
+        x = np.array([1.0, -2.0, 0.5, 3.0])
+        slots = encoder.slot_count
+        packed = np.zeros(slots)
+        packed[:dim] = x
+        packed[dim : 2 * dim] = x
+        ct = encrypt_vec(encoder, encryptor, packed)
+        out = linear.matvec_diagonal(np.eye(dim), ct, reduction_keys)
+        dec = encoder.decode(decryptor.decrypt(out)).real[:dim]
+        assert np.allclose(dec, x, atol=0.02)
+
+
+class TestWeightedSum:
+    def test_affine_combination(
+        self, linear, encoder, encryptor, decryptor
+    ):
+        a = np.array([1.0, 2.0])
+        b = np.array([-0.5, 4.0])
+        ca = encrypt_vec(encoder, encryptor, a)
+        cb = encrypt_vec(encoder, encryptor, b)
+        out = linear.weighted_sum([ca, cb], [2.0, -1.0])
+        dec = encoder.decode(decryptor.decrypt(out)).real[:2]
+        assert np.allclose(dec, 2 * a - b, atol=0.02)
+
+    def test_length_mismatch(self, linear, encoder, encryptor):
+        ct = encrypt_vec(encoder, encryptor, [1.0])
+        with pytest.raises(ValueError):
+            linear.weighted_sum([ct], [1.0, 2.0])
+
+
+class TestEvaluatePolynomial:
+    def test_degree2(self, linear, encoder, encryptor, decryptor, relin_key):
+        x = np.array([0.5, -1.0, 0.25])
+        ct = encrypt_vec(encoder, encryptor, x)
+        out = linear.evaluate_polynomial(ct, [1.0, 2.0, 3.0], relin_key)
+        dec = encoder.decode(decryptor.decrypt(out)).real[:3]
+        assert np.allclose(dec, 1 + 2 * x + 3 * x**2, atol=0.05)
+
+    def test_degree3_sigmoid_approx(self):
+        """Degree 3 needs an extra level: run on a k=4 context."""
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.ckks.encoder import CkksEncoder
+        from repro.ckks.encryptor import Encryptor
+        from repro.ckks.decryptor import Decryptor
+        from repro.ckks.keys import KeyGenerator
+
+        ctx = CkksContext(toy_parameters(n=64, k=4, prime_bits=30))
+        kg = KeyGenerator(ctx, seed=4)
+        enc = CkksEncoder(ctx)
+        encryptor = Encryptor(ctx, kg.public_key(), seed=5)
+        decryptor = Decryptor(ctx, kg.secret_key)
+        lin = LinearEvaluator(ctx)
+        coeffs = [0.5, 0.197, 0.0, -0.004]
+        x = np.array([0.5, -2.0, 1.5])
+        ct = encryptor.encrypt(enc.encode(x))
+        out = lin.evaluate_polynomial(ct, coeffs, kg.relin_key())
+        dec = enc.decode(decryptor.decrypt(out)).real[:3]
+        expected = coeffs[0] + coeffs[1] * x + coeffs[3] * x**3
+        assert np.allclose(dec, expected, atol=0.05)
+
+    def test_insufficient_depth_raises(
+        self, linear, encoder, encryptor, relin_key
+    ):
+        """Degree 3 on the k=3 fixture cannot absorb the coefficients."""
+        ct = encrypt_vec(encoder, encryptor, [0.5])
+        with pytest.raises(ValueError):
+            linear.evaluate_polynomial(ct, [0.0, 1.0, 1.0, 1.0], relin_key)
+
+    def test_rejects_constant(self, linear, encoder, encryptor, relin_key):
+        ct = encrypt_vec(encoder, encryptor, [1.0])
+        with pytest.raises(ValueError):
+            linear.evaluate_polynomial(ct, [1.0], relin_key)
+
+
+class TestOpCounts:
+    def test_dot_plain_counts(self):
+        counts = LinearEvaluator.op_counts("dot_plain", dim=8)
+        assert counts == {"rotations": 3, "cp_mults": 1, "rescales": 1}
+
+    def test_matvec_counts(self):
+        counts = LinearEvaluator.op_counts("matvec_diagonal", dim=8)
+        assert counts["rotations"] == 7
+        assert counts["cp_mults"] == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            LinearEvaluator.op_counts("conv2d")

@@ -1,0 +1,121 @@
+"""Tests for the noise estimator, validated against measured noise."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import ERROR_BOUND, NoiseBudget, NoiseEstimate, NoiseModel
+from repro.ckks.poly import Plaintext
+from repro.ckks.rns import RnsBasis
+
+
+def measured_noise_bound(toy_context, decryptor, ct, reference_pt):
+    """Max |error coefficient| between a decryption and its reference."""
+    dec = decryptor.decrypt(ct)
+    diff = dec.poly.sub(reference_pt.poly)
+    coeff = toy_context.from_ntt(diff)
+    basis = RnsBasis(coeff.moduli)
+    return max(
+        abs(basis.compose_centered([coeff.residues[j][i] for j in range(len(coeff.moduli))]))
+        for i in range(coeff.n)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(toy_context):
+    return NoiseModel(toy_context)
+
+
+class TestEstimateAlgebra:
+    def test_precision_bits(self):
+        est = NoiseEstimate(bound=2.0**8, scale=2.0**28, level_count=3)
+        assert est.precision_bits == pytest.approx(20)
+
+    def test_decryptable_check(self):
+        est = NoiseEstimate(bound=2.0**8, scale=2.0**28, level_count=3)
+        assert est.decryptable(q_bits=90)
+        assert not est.decryptable(q_bits=25)
+
+    def test_add_combines_bounds(self, model):
+        a = model.fresh()
+        s = model.add(a, a)
+        assert s.bound == 2 * a.bound
+        assert s.scale == a.scale
+
+    def test_add_level_mismatch(self, model):
+        a = model.fresh()
+        b = NoiseEstimate(a.bound, a.scale, a.level_count - 1)
+        with pytest.raises(ValueError):
+            model.add(a, b)
+
+    def test_rescale_divides_bound_and_scale(self, model, toy_context):
+        a = model.fresh()
+        prod = model.multiply(a, a)
+        res = model.rescale(prod)
+        dropped = toy_context.basis_at_level(prod.level_count).moduli[-1].value
+        assert res.level_count == prod.level_count - 1
+        assert res.scale == pytest.approx(prod.scale / dropped)
+        assert res.bound < prod.bound
+
+
+class TestAgainstMeasurement:
+    def test_fresh_estimate_upper_bounds_measurement(
+        self, toy_context, encoder, encryptor, decryptor, model
+    ):
+        pt = encoder.encode([1.0, -1.0, 0.5])
+        ct = encryptor.encrypt(pt)
+        measured = measured_noise_bound(toy_context, decryptor, ct, pt)
+        est = model.fresh()
+        assert measured <= est.bound
+        # ... and not absurdly loose (within ~10 bits)
+        assert est.bound < measured * 2**10
+
+    def test_addition_estimate_tracks_measurement(
+        self, toy_context, encoder, encryptor, decryptor, evaluator, model
+    ):
+        pt = encoder.encode([0.5])
+        ct = encryptor.encrypt(pt)
+        acc_ct, acc_pt = ct, pt
+        est = model.fresh()
+        for _ in range(3):
+            acc_ct = evaluator.add(acc_ct, acc_ct)
+            acc_pt = Plaintext(acc_pt.poly.add(acc_pt.poly), acc_pt.scale)
+            est = model.add(est, est)
+        measured = measured_noise_bound(toy_context, decryptor, acc_ct, acc_pt)
+        assert measured <= est.bound
+
+    def test_keyswitch_estimate_upper_bounds_measurement(
+        self, toy_context, encoder, encryptor, decryptor, evaluator, relin_key, model
+    ):
+        vals = np.array([0.5, -0.25])
+        ct1 = encryptor.encrypt(encoder.encode(vals))
+        ct2 = encryptor.encrypt(encoder.encode(vals))
+        prod = evaluator.relinearize(evaluator.multiply(ct1, ct2), relin_key)
+        # reference: decrypt the size-3 product (its own noise is the
+        # multiply noise; relin adds only the gadget noise on top)
+        raw = evaluator.multiply(ct1, ct2)
+        ref = decryptor.decrypt(raw)
+        measured = measured_noise_bound(toy_context, decryptor, prod, ref)
+        est = model.keyswitch(
+            NoiseEstimate(0.0, prod.scale, prod.level_count)
+        )
+        assert measured <= est.bound * 2**6  # heuristic vs worst case slack
+        assert measured > 0
+
+
+class TestBudgetTracker:
+    def test_trace_records_ops(self, toy_context):
+        budget = NoiseBudget(toy_context)
+        a = budget.fresh()
+        b = budget.fresh()
+        prod = budget.after("multiply", a, b)
+        budget.after("rescale", prod)
+        assert len(budget.trace) == 4
+        assert budget.trace[0].startswith("fresh")
+
+    def test_depth_capacity_positive_and_bounded(self, toy_context):
+        budget = NoiseBudget(toy_context)
+        depth = budget.depth_capacity()
+        assert 1 <= depth <= toy_context.k - 1
+
+    def test_error_bound_constant(self):
+        assert ERROR_BOUND == 20  # ceil(6 * 3.2)

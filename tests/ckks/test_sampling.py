@@ -1,0 +1,102 @@
+"""Tests for the RLWE sampling distributions."""
+
+import math
+
+import pytest
+
+from repro.ckks.modarith import Modulus
+from repro.ckks.primes import make_modulus_chain
+from repro.ckks.rns import RnsBasis
+from repro.ckks.sampling import (
+    ERROR_STDDEV,
+    ERROR_TRUNCATION_SIGMAS,
+    Sampler,
+)
+
+MODULI = make_modulus_chain(64, [30, 29])
+
+
+class TestTernary:
+    def test_support(self):
+        s = Sampler(1)
+        vals = s.ternary_coeffs(10_000)
+        assert set(vals) == {-1, 0, 1}
+
+    def test_roughly_uniform(self):
+        s = Sampler(2)
+        vals = s.ternary_coeffs(30_000)
+        for v in (-1, 0, 1):
+            frac = vals.count(v) / len(vals)
+            assert abs(frac - 1 / 3) < 0.02
+
+    def test_seeded_determinism(self):
+        assert Sampler(7).ternary_coeffs(100) == Sampler(7).ternary_coeffs(100)
+
+    def test_different_seeds_differ(self):
+        assert Sampler(1).ternary_coeffs(100) != Sampler(2).ternary_coeffs(100)
+
+
+class TestGaussian:
+    def test_truncation_bound(self):
+        s = Sampler(3)
+        bound = math.ceil(ERROR_TRUNCATION_SIGMAS * ERROR_STDDEV)
+        vals = s.gaussian_coeffs(20_000)
+        assert max(abs(v) for v in vals) <= bound
+
+    def test_mean_near_zero(self):
+        s = Sampler(4)
+        vals = s.gaussian_coeffs(20_000)
+        assert abs(sum(vals) / len(vals)) < 0.1
+
+    def test_stddev_near_sigma(self):
+        s = Sampler(5)
+        vals = s.gaussian_coeffs(20_000)
+        var = sum(v * v for v in vals) / len(vals)
+        assert abs(math.sqrt(var) - ERROR_STDDEV) < 0.2
+
+    def test_custom_stddev(self):
+        s = Sampler(6)
+        wide = s.gaussian_coeffs(5000, stddev=10.0)
+        var = sum(v * v for v in wide) / len(wide)
+        assert 8.0 < math.sqrt(var) < 12.0
+
+
+class TestUniform:
+    def test_in_range_per_modulus(self):
+        s = Sampler(8)
+        poly = s.uniform_residues(64, MODULI)
+        assert poly.is_ntt
+        for m, row in zip(MODULI, poly.residues):
+            assert all(0 <= v < m.value for v in row)
+
+    def test_covers_range(self):
+        s = Sampler(9)
+        poly = s.uniform_residues(64, MODULI)
+        # with 64 draws from a 2^30 range, values should be spread out
+        row = poly.residues[0]
+        assert max(row) > MODULI[0].value // 2
+        assert len(set(row)) == len(row)
+
+
+class TestPolyWrappers:
+    def test_ternary_poly_residues_consistent(self):
+        s = Sampler(10)
+        poly = s.ternary_poly(64, MODULI)
+        assert not poly.is_ntt
+        basis = RnsBasis(MODULI)
+        for i in range(64):
+            v = basis.compose_centered(
+                [poly.residues[j][i] for j in range(len(MODULI))]
+            )
+            assert v in (-1, 0, 1)
+
+    def test_gaussian_poly_residues_consistent(self):
+        s = Sampler(11)
+        poly = s.gaussian_poly(64, MODULI)
+        basis = RnsBasis(MODULI)
+        bound = math.ceil(ERROR_TRUNCATION_SIGMAS * ERROR_STDDEV)
+        for i in range(64):
+            v = basis.compose_centered(
+                [poly.residues[j][i] for j in range(len(MODULI))]
+            )
+            assert abs(v) <= bound

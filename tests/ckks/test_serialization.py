@@ -1,0 +1,125 @@
+"""Tests for the wire format and its size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.serialization import (
+    HEADER_BYTES,
+    WORD_BYTES,
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    deserialize_kswitch_key,
+    deserialize_plaintext,
+    kswitch_key_wire_bytes,
+    polynomial_wire_bytes,
+    serialize_ciphertext,
+    serialize_kswitch_key,
+    serialize_plaintext,
+)
+
+
+class TestCiphertextRoundTrip:
+    def test_roundtrip_preserves_decryption(
+        self, toy_context, encoder, encryptor, decryptor
+    ):
+        vals = np.array([1.25, -3.0, 0.5])
+        ct = encryptor.encrypt(encoder.encode(vals))
+        blob = serialize_ciphertext(ct)
+        back = deserialize_ciphertext(blob, toy_context)
+        out = encoder.decode(decryptor.decrypt(back)).real[:3]
+        assert np.allclose(out, vals, atol=1e-3)
+
+    def test_roundtrip_exact_polynomials(self, toy_context, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([2.0]))
+        back = deserialize_ciphertext(serialize_ciphertext(ct), toy_context)
+        assert back.size == ct.size
+        assert back.scale == ct.scale
+        for p, q in zip(ct.polys, back.polys):
+            assert p == q
+
+    def test_size3_ciphertext(self, toy_context, encoder, encryptor, evaluator):
+        a = encryptor.encrypt(encoder.encode([1.0]))
+        prod = evaluator.multiply(a, a)
+        back = deserialize_ciphertext(serialize_ciphertext(prod), toy_context)
+        assert back.size == 3
+
+    def test_wrong_context_rejected(self, toy_context, encoder, encryptor):
+        from repro.ckks.context import CkksContext, toy_parameters
+
+        other = CkksContext(toy_parameters(n=32, k=2, prime_bits=28))
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(serialize_ciphertext(ct), other)
+
+    def test_bad_magic_rejected(self, toy_context, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        blob = bytearray(serialize_ciphertext(ct))
+        blob[0] = 0
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(bytes(blob), toy_context)
+
+    def test_kind_mismatch_rejected(self, toy_context, encoder):
+        pt = encoder.encode([1.0])
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(serialize_plaintext(pt), toy_context)
+
+
+class TestPlaintextRoundTrip:
+    def test_roundtrip(self, toy_context, encoder):
+        pt = encoder.encode([0.75, -0.125])
+        back = deserialize_plaintext(serialize_plaintext(pt), toy_context)
+        assert back.poly == pt.poly
+        assert back.scale == pt.scale
+
+    def test_coefficient_form_flag(self, toy_context, encoder):
+        pt = encoder.encode([1.0], to_ntt=False)
+        back = deserialize_plaintext(serialize_plaintext(pt), toy_context)
+        assert not back.poly.is_ntt
+
+
+class TestKswitchKeyRoundTrip:
+    def test_roundtrip(self, toy_context, relin_key):
+        blob = serialize_kswitch_key(relin_key)
+        back = deserialize_kswitch_key(blob, toy_context)
+        assert back.digit_count == relin_key.digit_count
+        for i in range(back.digit_count):
+            b0, a0 = relin_key.digit(i)
+            b1, a1 = back.digit(i)
+            assert b0 == b1 and a0 == a1
+
+    def test_roundtripped_key_still_works(
+        self, toy_context, encoder, encryptor, decryptor, evaluator, relin_key
+    ):
+        back = deserialize_kswitch_key(
+            serialize_kswitch_key(relin_key), toy_context
+        )
+        vals = np.array([0.5, 2.0])
+        a = encryptor.encrypt(encoder.encode(vals))
+        prod = evaluator.relinearize(evaluator.multiply(a, a), back)
+        out = encoder.decode(decryptor.decrypt(prod)).real[:2]
+        assert np.allclose(out, vals**2, atol=1e-2)
+
+
+class TestSizeAccounting:
+    def test_polynomial_wire_bytes_matches_paper_range(self):
+        """2^15 to 2^17 bytes per polynomial across Set-A..C (Section 5.2)."""
+        assert polynomial_wire_bytes(4096) == 1 << 15
+        assert polynomial_wire_bytes(8192) == 1 << 16
+        assert polynomial_wire_bytes(16384) == 1 << 17
+
+    def test_ciphertext_payload_formula(self, toy_context, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        blob = serialize_ciphertext(ct)
+        expected = ciphertext_wire_bytes(ct.n, ct.size, ct.level_count)
+        assert len(blob) - HEADER_BYTES == expected
+
+    def test_ksk_wire_bytes_section51(self):
+        """Set-C ksk = 151 Mb on the wire (the DRAM streaming volume)."""
+        bits = kswitch_key_wire_bytes(16384, 8) * 8
+        assert bits / 1e6 == pytest.approx(151, rel=0.01)
+
+    def test_serialized_ksk_matches_formula(self, toy_context, relin_key):
+        blob = serialize_kswitch_key(relin_key)
+        k = toy_context.k
+        expected = kswitch_key_wire_bytes(toy_context.n, k)
+        assert len(blob) - HEADER_BYTES == expected

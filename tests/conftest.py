@@ -1,0 +1,63 @@
+"""Shared fixtures: small (insecure) CKKS instances sized for fast tests.
+
+Paper-scale parameters (n >= 4096) are exercised by a handful of tests
+marked ``slow`` and by the benchmark harness; everything else runs on
+toy rings where a full NTT takes microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.decryptor import Decryptor
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+
+
+@pytest.fixture(scope="session")
+def toy_context() -> CkksContext:
+    """n=64, three 30-bit data primes + special, scale 2^28."""
+    return CkksContext(toy_parameters(n=64, k=3, prime_bits=30, scale=2.0**28))
+
+
+@pytest.fixture(scope="session")
+def keygen(toy_context) -> KeyGenerator:
+    return KeyGenerator(toy_context, seed=12345)
+
+
+@pytest.fixture(scope="session")
+def encoder(toy_context) -> CkksEncoder:
+    return CkksEncoder(toy_context)
+
+
+@pytest.fixture(scope="session")
+def evaluator(toy_context) -> Evaluator:
+    return Evaluator(toy_context)
+
+
+@pytest.fixture(scope="session")
+def encryptor(toy_context, keygen) -> Encryptor:
+    return Encryptor(toy_context, keygen.public_key(), seed=777)
+
+
+@pytest.fixture(scope="session")
+def sym_encryptor(toy_context, keygen) -> Encryptor:
+    return Encryptor(toy_context, keygen.secret_key, seed=778)
+
+
+@pytest.fixture(scope="session")
+def decryptor(toy_context, keygen) -> Decryptor:
+    return Decryptor(toy_context, keygen.secret_key)
+
+
+@pytest.fixture(scope="session")
+def relin_key(keygen):
+    return keygen.relin_key()
+
+
+@pytest.fixture(scope="session")
+def galois_keys(keygen):
+    return keygen.galois_keys([1, 2, 3, 5], conjugation=True)

@@ -1,0 +1,137 @@
+"""Tests for the Table 5 architectures and Section 4.3 balancing math."""
+
+import pytest
+
+from repro.core.arch import (
+    KeySwitchArchitecture,
+    STANDALONE_MODULE_CORES,
+    TABLE5_ARCHITECTURES,
+    choose_module_split,
+    derive_architecture,
+    next_power_of_two,
+)
+
+
+class TestModuleSplitRule:
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_rule_reproduces_table5_splits(self, key):
+        arch = TABLE5_ARCHITECTURES[key]
+        assert choose_module_split(arch.total_ntt0_cores) == arch.m0
+
+    def test_small_totals(self):
+        assert choose_module_split(1) == 1
+        assert choose_module_split(2) == 2  # at least two modules
+
+    def test_modules_capped_at_16_cores(self):
+        for total in (16, 32, 64, 128):
+            m0 = choose_module_split(total)
+            assert total // m0 <= 16
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(4) == 4
+        assert next_power_of_two(5) == 8
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestTable5Architectures:
+    def test_all_four_rows_present(self):
+        assert len(TABLE5_ARCHITECTURES) == 4
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_ntt0_layer_provides_k_fold_throughput(self, key):
+        """Total NTT0 cores = k * INTT0 cores (the k-NTTs-per-INTT rule)."""
+        arch = TABLE5_ARCHITECTURES[key]
+        assert arch.total_ntt0_cores == arch.k * arch.nc_intt0
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_dyad_module_count_is_m0_plus_1(self, key):
+        arch = TABLE5_ARCHITECTURES[key]
+        assert arch.dyad[0] == arch.m0 + 1
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_throughput_balanced(self, key):
+        assert TABLE5_ARCHITECTURES[key].throughput_balanced()
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_f1_is_four(self, key):
+        """Every Table 5 design needs quadruple input buffering (5.2)."""
+        assert TABLE5_ARCHITECTURES[key].f1 == 4
+
+    def test_f2_set_b(self):
+        """f2 = ceil(1 + m0*ncINTT1/ncNTT1 + ncINTT1*log n / ncMS) = 15."""
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-B")]
+        assert arch.f2 == 15
+
+    def test_describe_matches_paper_notation(self):
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-B")]
+        assert arch.describe() == (
+            "1xINTT(16) -> 4xNTT(16) -> 5xDyad(8) -> 2xINTT(4) -> "
+            "2xNTT(16) -> 2xMult(4)"
+        )
+
+    def test_no_module_exceeds_32_cores(self):
+        """>32-core modules fail place-and-route (Section 4.3)."""
+        for arch in TABLE5_ARCHITECTURES.values():
+            for _, nc in (arch.intt0, arch.ntt0, arch.dyad, arch.intt1, arch.ntt1, arch.ms):
+                assert nc <= 32
+
+
+class TestDerivation:
+    @pytest.mark.parametrize(
+        "key",
+        [("Arria10", "Set-A"), ("Stratix10", "Set-A"), ("Stratix10", "Set-B")],
+    )
+    def test_derivation_reproduces_paper_rows(self, key):
+        paper = TABLE5_ARCHITECTURES[key]
+        derived = derive_architecture(
+            paper.name, paper.n, paper.k, paper.nc_intt0, paper.m0
+        )
+        assert derived.intt0 == paper.intt0
+        assert derived.ntt0 == paper.ntt0
+        assert derived.dyad == paper.dyad
+        assert derived.intt1 == paper.intt1
+        assert derived.ntt1 == paper.ntt1
+        assert derived.ms == paper.ms
+
+    def test_set_c_derivation_known_ms_deviation(self):
+        """Set-C: the paper instantiates Mult(4) where the formula gives
+        Mult(2) -- documented in DESIGN.md; everything else matches."""
+        paper = TABLE5_ARCHITECTURES[("Stratix10", "Set-C")]
+        derived = derive_architecture(paper.name, paper.n, paper.k, paper.nc_intt0, paper.m0)
+        assert derived.intt0 == paper.intt0
+        assert derived.ntt0 == paper.ntt0
+        assert derived.dyad == paper.dyad
+        assert derived.intt1 == paper.intt1
+        assert derived.ntt1 == paper.ntt1
+        assert derived.ms[1] <= paper.ms[1]
+
+    def test_derived_architectures_are_balanced(self):
+        for n, k, nc, m0 in [(4096, 2, 8, 2), (8192, 4, 16, 4), (16384, 8, 8, 4)]:
+            arch = derive_architecture("x", n, k, nc, m0)
+            assert arch.throughput_balanced()
+
+    def test_m0_must_divide(self):
+        with pytest.raises(ValueError):
+            derive_architecture("x", 4096, 2, 8, 3)
+
+    def test_unbalanced_architecture_detected(self):
+        bad = KeySwitchArchitecture(
+            "bad", 8192, 4,
+            intt0=(1, 32), ntt0=(1, 8), dyad=(2, 8),
+            intt1=(2, 8), ntt1=(2, 32), ms=(2, 4),
+        )
+        assert not bad.throughput_balanced()
+
+
+class TestStandaloneCores:
+    def test_paper_values(self):
+        assert STANDALONE_MODULE_CORES["Arria10"]["ntt"] == 8
+        assert STANDALONE_MODULE_CORES["Arria10"]["dyadic"] == 16
+        assert STANDALONE_MODULE_CORES["Stratix10"]["ntt"] == 16

@@ -1,0 +1,82 @@
+"""Tests validating the f1/f2 buffer sizing via discrete-event simulation."""
+
+import pytest
+
+from repro.core.arch import TABLE5_ARCHITECTURES
+from repro.core.dataflow import AccumulatorDataflowSim, KeySwitchDataflowSim
+
+
+class TestInputBuffering:
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_f1_buffers_sustain_full_rate(self, key):
+        """With the provisioned f1 buffers the pipeline runs at its ideal
+        period -- the sizing is *sufficient*."""
+        arch = TABLE5_ARCHITECTURES[key]
+        sim = KeySwitchDataflowSim(arch)
+        report = sim.run(buffers=arch.f1)
+        assert report.sustains_full_rate, (key, report.throughput_loss)
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_double_buffering_insufficient(self, key):
+        """MULT-style double buffering is *not* enough for KeySwitch --
+        the reason Section 5.2 quadruple-buffers its inputs."""
+        arch = TABLE5_ARCHITECTURES[key]
+        sim = KeySwitchDataflowSim(arch)
+        report = sim.run(buffers=2)
+        assert report.throughput_loss > 0.0
+        assert report.writer_stall_cycles > 0
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_minimum_buffers_at_most_f1(self, key):
+        """f1 is sufficient and within one slot of minimal (the formula
+        rounds conservatively)."""
+        arch = TABLE5_ARCHITECTURES[key]
+        sim = KeySwitchDataflowSim(arch)
+        minimum = sim.minimum_sufficient_buffers()
+        assert minimum <= arch.f1
+        assert minimum >= arch.f1 - 1
+
+    def test_more_buffers_never_hurt(self):
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-B")]
+        sim = KeySwitchDataflowSim(arch)
+        periods = [sim.run(b).achieved_period_cycles for b in range(1, 9)]
+        assert periods == sorted(periods, reverse=True)
+
+    def test_stalls_vanish_at_sufficiency(self):
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-B")]
+        sim = KeySwitchDataflowSim(arch)
+        assert sim.run(arch.f1).writer_stall_cycles == pytest.approx(0, abs=1)
+
+    def test_rejects_zero_buffers(self):
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-A")]
+        with pytest.raises(ValueError):
+            KeySwitchDataflowSim(arch).run(buffers=0)
+
+    def test_slow_transfer_dominates_even_with_buffers(self):
+        """Sanity: if PCIe itself is slower than the pipeline, buffers
+        cannot recover the rate (transfer-bound, not buffer-bound)."""
+        arch = TABLE5_ARCHITECTURES[("Stratix10", "Set-B")]
+        sim = KeySwitchDataflowSim(arch)
+        report = sim.run(buffers=8, transfer_cycles=2 * sim.ideal_period)
+        assert report.throughput_loss > 0.5
+
+
+class TestAccumulatorBuffering:
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_required_polys_within_f2_provisioning(self, key):
+        """The simulated peak accumulator occupancy never exceeds the f2
+        provisioning (in one-poly buffer units)."""
+        arch = TABLE5_ARCHITECTURES[key]
+        sim = AccumulatorDataflowSim(arch)
+        assert sim.required_buffer_polys() <= max(arch.f2, 2 * sim.peak_live_operations())
+
+    @pytest.mark.parametrize("key", sorted(TABLE5_ARCHITECTURES))
+    def test_at_least_two_operations_live(self, key):
+        """The MS tail always overlaps the next accumulation -- single
+        buffering of the banks can never work."""
+        sim = AccumulatorDataflowSim(TABLE5_ARCHITECTURES[key])
+        assert sim.peak_live_operations() >= 2
+
+    def test_lifetime_exceeds_period(self):
+        sim = AccumulatorDataflowSim(TABLE5_ARCHITECTURES[("Stratix10", "Set-B")])
+        assert sim.lifetime > sim.period

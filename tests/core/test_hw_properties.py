@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) over the hardware simulators.
+
+These are the deep invariants the reproduction rests on:
+
+* the banked/muxed/pipelined NTT module computes *exactly* the NTT of
+  Algorithm 3 for every (ring size, core count, input) combination;
+* cycle counts always equal the closed-form model;
+* the MULT module equals the dyadic reference for arbitrary component
+  counts;
+* architecture derivation always yields rate-balanced designs;
+* memory layouts never lose payload bits.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+from repro.ckks.primes import generate_ntt_primes
+from repro.core.arch import derive_architecture
+from repro.core.memory import M20K_BITS, MemoryLayout
+from repro.core.mult_module import MultModuleSim
+from repro.core.ntt_module import NTTModuleSim
+
+_TABLE_CACHE = {}
+
+
+def tables_for(n):
+    if n not in _TABLE_CACHE:
+        p = generate_ntt_primes(n, 28, 1)[0]
+        _TABLE_CACHE[n] = NTTTables(n, Modulus(p))
+    return _TABLE_CACHE[n]
+
+
+ring_and_cores = st.sampled_from(
+    [(n, nc) for n in (16, 32, 64, 128) for nc in (1, 2, 4, 8) if 2 * nc <= n]
+)
+
+
+class TestNttModuleProperties:
+    @given(ring_and_cores, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_forward_equals_reference(self, cfg, data):
+        n, nc = cfg
+        t = tables_for(n)
+        p = t.modulus.value
+        poly = data.draw(st.lists(st.integers(0, p - 1), min_size=n, max_size=n))
+        sim = NTTModuleSim(t, nc)
+        out, stats = sim.run_forward(poly)
+        assert out == t.forward(poly)
+        assert stats.throughput_cycles == sim.expected_throughput_cycles()
+
+    @given(ring_and_cores, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hw_roundtrip_identity(self, cfg, data):
+        n, nc = cfg
+        t = tables_for(n)
+        p = t.modulus.value
+        poly = data.draw(st.lists(st.integers(0, p - 1), min_size=n, max_size=n))
+        sim = NTTModuleSim(t, nc)
+        fwd, _ = sim.run_forward(poly)
+        back, _ = sim.run_inverse(fwd)
+        assert back == poly
+
+    @given(ring_and_cores)
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_count_independent_of_data(self, cfg):
+        n, nc = cfg
+        t = tables_for(n)
+        sim = NTTModuleSim(t, nc)
+        _, s0 = sim.run_forward([0] * n)
+        _, s1 = sim.run_forward([1] * n)
+        assert s0.throughput_cycles == s1.throughput_cycles
+
+    @given(ring_and_cores)
+    @settings(max_examples=30, deadline=None)
+    def test_mux_fanin_bound(self, cfg):
+        n, nc = cfg
+        sim = NTTModuleSim(tables_for(n), nc)
+        assert sim.mux_fanin_report()["max_fanin"] <= math.log2(2 * nc) + 1
+
+
+class TestMultModuleProperties:
+    @given(
+        st.sampled_from([(1, 1), (1, 2), (2, 2), (3, 2), (2, 3), (3, 3)]),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_convolution(self, shape, data):
+        alpha, beta = shape
+        n = 16
+        p = tables_for(n).modulus.value
+        sim = MultModuleSim(Modulus(p), n, 4)
+        ct1 = [
+            data.draw(st.lists(st.integers(0, p - 1), min_size=n, max_size=n))
+            for _ in range(alpha)
+        ]
+        ct2 = [
+            data.draw(st.lists(st.integers(0, p - 1), min_size=n, max_size=n))
+            for _ in range(beta)
+        ]
+        outs, stats = sim.ciphertext_multiply(ct1, ct2)
+        ref = [[0] * n for _ in range(alpha + beta - 1)]
+        for i in range(alpha):
+            for j in range(beta):
+                for tdx in range(n):
+                    ref[i + j][tdx] = (
+                        ref[i + j][tdx] + ct1[i][tdx] * ct2[j][tdx]
+                    ) % p
+        assert outs == ref
+        assert stats.cycles == alpha * beta * n // 4
+
+
+class TestArchProperties:
+    @given(
+        st.sampled_from([4096, 8192, 16384]),
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_derived_designs_balanced(self, n, k, nc_intt0):
+        total = k * nc_intt0
+        m0 = 1
+        # choose the largest m0 dividing total with per-module cores <= 32
+        for cand in (8, 4, 2, 1):
+            if total % cand == 0 and total // cand <= 32:
+                m0 = cand
+                break
+        arch = derive_architecture("prop", n, k, nc_intt0, m0)
+        assert arch.throughput_balanced()
+        assert arch.f1 >= 4  # quadruple buffering is the floor
+        assert arch.total_ntt0_cores == k * nc_intt0
+
+    @given(st.sampled_from([2, 4, 8]), st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_intt1_sizing_rule(self, k, nc_intt0):
+        arch = derive_architecture("prop", 8192, k, nc_intt0, 1)
+        assert arch.intt1[1] == -(-nc_intt0 // k)
+
+
+class TestMemoryProperties:
+    @given(
+        st.sampled_from([256, 512, 1024, 4096, 8192, 16384]),
+        st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_payload_loss(self, n, lanes):
+        if n % lanes:
+            return
+        layout = MemoryLayout(n, lanes)
+        assert layout.m20k_units * M20K_BITS >= layout.logical_bits
+        assert 0 < layout.utilization <= 1.0
+
+    @given(st.sampled_from([1024, 4096, 8192]))
+    @settings(max_examples=20, deadline=None)
+    def test_packing_beats_naive(self, n):
+        """beta = 8 packing always beats one-coefficient-per-BRAM width
+        utilization (the Section 4.2 claim)."""
+        from repro.core.memory import naive_layout_utilization
+
+        packed = MemoryLayout(n, 8)
+        assert packed.width_utilization > naive_layout_utilization()

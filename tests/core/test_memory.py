@@ -1,0 +1,89 @@
+"""Tests for the M20K/word-packing memory model (Section 4.2)."""
+
+import pytest
+
+from repro.core.memory import (
+    BankedMemory,
+    COEFF_BITS,
+    M20K_BITS,
+    M20K_DEPTH,
+    M20K_WIDTH,
+    MemoryLayout,
+    naive_layout_utilization,
+)
+
+
+class TestM20KGeometry:
+    def test_constants(self):
+        assert M20K_DEPTH == 512
+        assert M20K_WIDTH == 40
+        assert M20K_BITS == 512 * 40
+        assert COEFF_BITS == 54
+
+
+class TestMemoryLayout:
+    def test_paper_packing_example_beta8(self):
+        """beta = 8: 98%+ width utilization (Section 4.2)."""
+        layout = MemoryLayout(8192, 8)
+        assert layout.width_utilization > 0.98
+
+    def test_naive_baseline_is_68_percent(self):
+        assert naive_layout_utilization() == pytest.approx(54 / 80)
+
+    def test_width_units(self):
+        layout = MemoryLayout(8192, 8)
+        assert layout.m20k_width_units == -(-8 * 54 // 40)  # ceil(432/40)=11
+
+    def test_depth_full_utilization_condition(self):
+        """M20K fully used depth-wise iff n/beta >= 512."""
+        full = MemoryLayout(8192, 16)  # depth 512
+        assert full.depth_utilization == 1.0
+        half = MemoryLayout(4096, 16)  # depth 256 -- the paper's n=2^12 case
+        assert half.depth_utilization == 0.5
+
+    def test_total_units(self):
+        layout = MemoryLayout(8192, 8)  # depth 1024 -> 2 stacks of 11
+        assert layout.m20k_units == 22
+
+    def test_logical_bits(self):
+        assert MemoryLayout(4096, 8).logical_bits == 4096 * 54
+
+    def test_lane_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(100, 8)
+
+
+class TestBankedMemory:
+    def test_load_dump_roundtrip(self):
+        mem = BankedMemory(64, 8)
+        vals = list(range(64))
+        mem.load(vals)
+        assert mem.dump() == vals
+
+    def test_row_addressing(self):
+        mem = BankedMemory(64, 8)
+        mem.load(list(range(64)))
+        assert mem.read_row(2) == list(range(16, 24))
+
+    def test_access_counters(self):
+        mem = BankedMemory(64, 8)
+        mem.load([0] * 64)
+        mem.read_row(0)
+        mem.read_row(1)
+        mem.write_row(0, [1] * 8)
+        assert mem.reads == 2
+        assert mem.writes == 1
+
+    def test_write_width_check(self):
+        mem = BankedMemory(64, 8)
+        with pytest.raises(ValueError):
+            mem.write_row(0, [1] * 4)
+
+    def test_load_length_check(self):
+        mem = BankedMemory(64, 8)
+        with pytest.raises(ValueError):
+            mem.load([0] * 63)
+
+    def test_layout_view(self):
+        mem = BankedMemory(8192, 8)
+        assert mem.layout().m20k_units == MemoryLayout(8192, 8).m20k_units

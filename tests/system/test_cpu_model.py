@@ -1,0 +1,82 @@
+"""Tests for the calibrated SEAL-on-CPU cost model."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE7_LOW_LEVEL, TABLE8_HIGH_LEVEL
+from repro.system.cpu_model import SealCpuModel
+
+DIMS = {"Set-A": (4096, 2), "Set-B": (8192, 4), "Set-C": (16384, 8)}
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return SealCpuModel()
+
+
+class TestCalibration:
+    def test_constants_in_plausible_range(self, cpu):
+        """~2.7 ns per NTT butterfly unit, ~6.6 ns per dyadic coefficient
+        on the 1.8 GHz Xeon -- a few cycles each."""
+        assert 2.0 < cpu.ntt_ns_per_unit < 3.5
+        assert 2.0 < cpu.intt_ns_per_unit < 3.5
+        assert 5.0 < cpu.dyadic_ns_per_coeff < 8.0
+
+    @pytest.mark.parametrize("ps", sorted(DIMS))
+    def test_table7_primitives_within_5_percent(self, cpu, ps):
+        n, _ = DIMS[ps]
+        paper = TABLE7_LOW_LEVEL[("Stratix10", ps)]
+        row = cpu.low_level_row(n)
+        assert row["NTT"] == pytest.approx(paper.ntt_cpu, rel=0.05)
+        assert row["INTT"] == pytest.approx(paper.intt_cpu, rel=0.05)
+        assert row["Dyadic"] == pytest.approx(paper.dyadic_cpu, rel=0.05)
+
+
+class TestComposedOperations:
+    @pytest.mark.parametrize("ps", sorted(DIMS))
+    def test_table8_keyswitch_within_20_percent(self, cpu, ps):
+        """Composed KeySwitch cost tracks the measured CPU rate: the
+        paper's Table 8 numbers are consistent with its own Table 7."""
+        n, k = DIMS[ps]
+        paper = TABLE8_HIGH_LEVEL[("Stratix10", ps)]
+        model = cpu.high_level_row(n, k)
+        assert model["KeySwitch"] == pytest.approx(paper.keyswitch_cpu, rel=0.20)
+        assert model["MULT+ReLin"] == pytest.approx(paper.multrelin_cpu, rel=0.20)
+
+    def test_keyswitch_dominates_mult(self, cpu):
+        """MULT+ReLin is barely slower than KeySwitch alone."""
+        n, k = 8192, 4
+        ks = cpu.keyswitch_seconds(n, k)
+        mr = cpu.mult_relin_seconds(n, k)
+        assert ks < mr < 1.25 * ks
+
+    def test_keyswitch_scales_superlinearly_in_k(self, cpu):
+        """k*k NTT terms: doubling k more than doubles the time."""
+        t1 = cpu.keyswitch_seconds(8192, 2)
+        t2 = cpu.keyswitch_seconds(8192, 4)
+        assert t2 > 2.5 * t1
+
+    def test_rescale_cheaper_than_keyswitch(self, cpu):
+        assert cpu.rescale_seconds(8192, 4) < cpu.keyswitch_seconds(8192, 4) / 3
+
+
+class TestSpeedupShape:
+    def test_speedup_ordering_matches_paper(self, cpu):
+        """HEAX/CPU speedups: Set-B > Set-A > Set-C on KeySwitch
+        (Table 8's non-monotonic shape)."""
+        from repro.core.perf import PerformanceModel
+
+        speedups = {}
+        for ps, (n, k) in DIMS.items():
+            heax = PerformanceModel("Stratix10", n, k).keyswitch_ops_per_sec()
+            cpu_rate = 1.0 / cpu.keyswitch_seconds(n, k)
+            speedups[ps] = heax / cpu_rate
+        assert speedups["Set-B"] > speedups["Set-A"]
+        assert speedups["Set-B"] > speedups["Set-C"]
+
+    def test_two_orders_of_magnitude(self, cpu):
+        from repro.core.perf import PerformanceModel
+
+        for ps, (n, k) in DIMS.items():
+            heax = PerformanceModel("Stratix10", n, k).keyswitch_ops_per_sec()
+            ratio = heax * cpu.keyswitch_seconds(n, k)
+            assert ratio > 100

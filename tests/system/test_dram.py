@@ -1,0 +1,83 @@
+"""Tests for the DRAM model and the Section 5.1 ksk-streaming plan."""
+
+import pytest
+
+from repro.analysis.paper_data import SECTION5_KSK_STREAMING
+from repro.system.dram import (
+    DramModel,
+    KskStreamingPlan,
+    ksk_growth_bits,
+    twiddle_growth_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def board_b_dram():
+    return DramModel(channels=4)
+
+
+class TestDramModel:
+    def test_peak_bandwidth(self, board_b_dram):
+        assert board_b_dram.peak_bytes_per_sec == 64e9
+
+    def test_burst_beats_random(self, board_b_dram):
+        assert board_b_dram.streaming_bandwidth() > 4 * board_b_dram.random_bandwidth()
+
+    def test_stream_time(self, board_b_dram):
+        t = board_b_dram.stream_time(int(60e9))
+        assert t == pytest.approx(60e9 / board_b_dram.streaming_bandwidth())
+
+
+class TestKskStreamingPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        s = SECTION5_KSK_STREAMING
+        return KskStreamingPlan(
+            n=s["n"], k=s["k"], keyswitch_ops_per_sec=2616, word_bits=s["word_bits"]
+        )
+
+    def test_paper_151_megabits(self, plan):
+        """2 x k(k+1) x n x 64 bits = ~151 Mb per KeySwitch."""
+        assert plan.bits_per_keyswitch / 1e6 == pytest.approx(151, rel=0.01)
+
+    def test_paper_383_microseconds(self, plan):
+        assert plan.budget_seconds * 1e6 == pytest.approx(383, rel=0.01)
+
+    def test_paper_49_28_gbps_requirement(self, plan):
+        assert plan.required_bytes_per_sec / 1e9 == pytest.approx(49.28, rel=0.01)
+
+    def test_feasible_on_four_channels(self, plan, board_b_dram):
+        assert plan.feasible(board_b_dram)
+
+    def test_infeasible_on_two_channels(self, plan):
+        """Board-A's two channels could not stream Set-C keys."""
+        assert not plan.feasible(DramModel(channels=2))
+
+    def test_summary_keys(self, plan, board_b_dram):
+        s = plan.summary(board_b_dram)
+        assert set(s) == {
+            "megabits_per_keyswitch",
+            "budget_us",
+            "required_gbps",
+            "available_gbps",
+            "feasible",
+        }
+
+
+class TestGrowthRates:
+    def test_ksk_grows_faster_than_twiddles(self):
+        """The paper's argument for putting ksk (not twiddles) in DRAM."""
+        ratios = []
+        for n, k in [(4096, 2), (8192, 4), (16384, 8)]:
+            ratios.append(ksk_growth_bits(n, k) / twiddle_growth_bits(n, k))
+        assert ratios == sorted(ratios)  # monotonically increasing
+        assert ratios[-1] > ratios[0] * 3
+
+    def test_ksk_growth_formula(self):
+        assert ksk_growth_bits(16384, 8) == 8 * 2 * 9 * 16384 * 54
+
+    def test_roughly_cubic_growth(self):
+        """k ~ n/2048 across the paper's sets, so ksk ~ O(n^3)-ish."""
+        small = ksk_growth_bits(4096, 2)
+        large = ksk_growth_bits(16384, 8)
+        assert large / small == pytest.approx((16384 / 4096) ** 2 * (9 / 3), rel=0.01)

@@ -1,0 +1,100 @@
+"""Tests for workload generation and runtime projection."""
+
+import pytest
+
+from repro.system.workload import (
+    PRIMITIVES,
+    RuntimeProjection,
+    Workload,
+    WorkloadGenerator,
+)
+
+
+class TestWorkload:
+    def test_defaults_zero(self):
+        w = Workload("w", {"keyswitch": 3})
+        assert w.counts["cc_mult"] == 0
+        assert w.total_ops == 3
+
+    def test_rejects_unknown_primitive(self):
+        with pytest.raises(ValueError):
+            Workload("w", {"bootstrapping": 1})
+
+    def test_addition_merges(self):
+        a = Workload("a", {"keyswitch": 1})
+        b = Workload("b", {"keyswitch": 2, "add": 5})
+        c = a + b
+        assert c.counts["keyswitch"] == 3
+        assert c.counts["add"] == 5
+
+    def test_scaling(self):
+        w = WorkloadGenerator.dot_product(8).scaled(10)
+        assert w.counts["keyswitch"] == 30  # 3 rotations x 10
+
+
+class TestGenerator:
+    def test_dot_product_counts(self):
+        w = WorkloadGenerator.dot_product(8)
+        assert w.counts["keyswitch"] == 3  # log2(8) rotations
+        assert w.counts["cp_mult"] == 1
+
+    def test_matvec_counts(self):
+        w = WorkloadGenerator.matvec(16)
+        assert w.counts["keyswitch"] == 15
+        assert w.counts["cp_mult"] == 16
+
+    def test_polynomial_activation(self):
+        w = WorkloadGenerator.polynomial_activation(3)
+        assert w.counts["cc_mult"] == 2
+        assert w.counts["keyswitch"] == 2
+
+    def test_activation_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator.polynomial_activation(0)
+
+    def test_logistic_composition(self):
+        dot = WorkloadGenerator.dot_product(8)
+        act = WorkloadGenerator.polynomial_activation(3)
+        full = WorkloadGenerator.logistic_inference(8, 3)
+        for p in PRIMITIVES:
+            assert full.counts[p] == dot.counts[p] + act.counts[p]
+
+    def test_dense_layer(self):
+        w = WorkloadGenerator.dense_layer(8)
+        assert w.counts["keyswitch"] >= 8  # rotations + relins
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def proj(self):
+        return RuntimeProjection("Stratix10", 8192, 4)
+
+    def test_speedup_two_orders(self, proj):
+        w = WorkloadGenerator.logistic_inference(64)
+        assert proj.speedup(w) > 50
+
+    def test_keyswitch_dominates_heax_time(self, proj):
+        """Rotation-heavy workloads are KeySwitch-pipeline bound."""
+        w = WorkloadGenerator.matvec(64)
+        ks_only = Workload("ks", {"keyswitch": w.counts["keyswitch"]})
+        assert proj.heax_seconds(w) == pytest.approx(
+            proj.heax_seconds(ks_only), rel=0.25
+        )
+
+    def test_cpu_time_additive(self, proj):
+        a = WorkloadGenerator.dot_product(8)
+        b = WorkloadGenerator.polynomial_activation(2)
+        assert proj.cpu_seconds(a + b) == pytest.approx(
+            proj.cpu_seconds(a) + proj.cpu_seconds(b)
+        )
+
+    def test_bigger_workload_takes_longer(self, proj):
+        small = WorkloadGenerator.matvec(8)
+        big = WorkloadGenerator.matvec(64)
+        assert proj.heax_seconds(big) > proj.heax_seconds(small)
+        assert proj.cpu_seconds(big) > proj.cpu_seconds(small)
+
+    def test_report_row_shape(self, proj):
+        row = proj.report_row(WorkloadGenerator.dot_product(8))
+        assert len(row) == 6
+        assert row[0] == "dot-8"
