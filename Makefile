@@ -1,0 +1,21 @@
+# Convenience wrappers around the verify/bench recipes in ROADMAP.md.
+#
+#   make test           tier-1 verification suite
+#   make bench          every paper table/figure benchmark (writes benchmarks/results/)
+#   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+BENCHES := $(wildcard benchmarks/bench_*.py)
+
+.PHONY: test bench bench-backend
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest $(BENCHES) -q
+
+bench-backend:
+	$(PYTHON) -m pytest benchmarks/bench_backend_speedup.py -q -s

@@ -25,8 +25,21 @@ Section 3 (which themselves mirror Microsoft SEAL 3.3):
 The implementation doubles as the *golden model* for the hardware simulator
 in :mod:`repro.core` and as the measured software baseline for the
 benchmark harness.
+
+Polynomial kernels execute on a pluggable backend
+(:mod:`repro.ckks.backend`): the pure-Python ``reference`` backend is the
+bit-exact ground truth, while the vectorized ``numpy`` backend (the
+default when NumPy is installed) runs NTT stages and dyadic operations
+as whole-array kernels.  Select with ``set_backend``/``use_backend`` or
+the ``REPRO_BACKEND`` environment variable.
 """
 
+from repro.ckks.backend import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.ckks.context import CkksContext, CkksParameters, SET_A, SET_B, SET_C
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.encryptor import Encryptor
@@ -52,4 +65,8 @@ __all__ = [
     "SET_A",
     "SET_B",
     "SET_C",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

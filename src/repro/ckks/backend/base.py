@@ -1,0 +1,136 @@
+"""Abstract interface of the polynomial-arithmetic backend layer.
+
+Every per-residue-row operation the CKKS stack performs -- negacyclic
+NTT/INTT, dyadic (coefficient-wise) arithmetic, scalar operations and the
+RNS base-conversion reductions of Algorithm 7 -- is expressed against
+this interface.  The scheme layer (:mod:`repro.ckks.poly`,
+:mod:`repro.ckks.context`, :mod:`repro.ckks.evaluator`, ...) never loops
+over coefficients itself; it dispatches to the active backend, so a
+vectorized implementation accelerates the whole stack without touching
+scheme code.  This mirrors the split HEAX itself makes between the
+*scheme* (Section 3) and the *compute engines* that execute its inner
+loops (Section 4): the backend is the software stand-in for the NTT /
+DyadMult engines.
+
+Data contract
+-------------
+A *row* is one residue polynomial: a sequence of ``n`` Python ints in
+``[0, p)`` for one RNS modulus ``p``.  Backends receive rows as plain
+sequences and return plain ``list``s of Python ints -- the canonical
+interchange representation that :class:`repro.ckks.poly.RnsPolynomial`
+stores.  Internally a backend is free to use any representation it
+likes (the numpy backend converts rows to ``uint64`` arrays, runs every
+butterfly stage vectorized, and converts back at the boundary); the
+boundary format is fixed so that backends are interchangeable and
+bit-exactness can be asserted by comparing rows directly.
+
+All operations are **exact**: two backends given the same inputs must
+produce identical rows.  The reference backend is the ground truth; the
+equivalence test-suite (``tests/ckks/test_backend_equivalence.py``)
+holds every other backend to it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+
+
+class PolynomialBackend(abc.ABC):
+    """Kernel provider for residue-row polynomial arithmetic."""
+
+    #: Registry / selection name (e.g. ``"reference"``, ``"numpy"``).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # negacyclic NTT (Algorithms 3 and 4)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def ntt_forward(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        """Forward NTT: standard-order input, bit-reversed output."""
+
+    @abc.abstractmethod
+    def ntt_inverse(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        """Inverse NTT: bit-reversed input, standard-order output."""
+
+    def ntt_forward_rows(
+        self, tables_list: Sequence[NTTTables], rows: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Forward-transform one row per modulus (a full RNS polynomial)."""
+        return [self.ntt_forward(t, r) for t, r in zip(tables_list, rows)]
+
+    def ntt_inverse_rows(
+        self, tables_list: Sequence[NTTTables], rows: Sequence[Sequence[int]]
+    ) -> List[List[int]]:
+        """Inverse-transform one row per modulus (a full RNS polynomial)."""
+        return [self.ntt_inverse(t, r) for t, r in zip(tables_list, rows)]
+
+    # ------------------------------------------------------------------
+    # dyadic (coefficient-wise) arithmetic
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """``a + b mod p`` coefficient-wise."""
+
+    @abc.abstractmethod
+    def sub(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """``a - b mod p`` coefficient-wise."""
+
+    @abc.abstractmethod
+    def negate(self, modulus: Modulus, a: Sequence[int]) -> List[int]:
+        """``-a mod p`` coefficient-wise."""
+
+    @abc.abstractmethod
+    def dyadic_mul(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """``a * b mod p`` coefficient-wise (one DyadMult lane)."""
+
+    @abc.abstractmethod
+    def dyadic_mac(
+        self,
+        modulus: Modulus,
+        acc: Sequence[int],
+        x: Sequence[int],
+        y: Sequence[int],
+    ) -> List[int]:
+        """``acc + x * y mod p`` coefficient-wise (DyadMult-and-accumulate)."""
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def scalar_mul(self, modulus: Modulus, a: Sequence[int], scalar: int) -> List[int]:
+        """``a * scalar mod p`` with a reduced scalar in ``[0, p)``."""
+
+    @abc.abstractmethod
+    def scalar_mac(
+        self, modulus: Modulus, acc: Sequence[int], a: Sequence[int], scalar: int
+    ) -> List[int]:
+        """``acc + a * scalar mod p`` with a reduced scalar in ``[0, p)``."""
+
+    # ------------------------------------------------------------------
+    # RNS base conversion
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reduce_mod(self, modulus: Modulus, row: Sequence[int]) -> List[int]:
+        """Reduce arbitrary (possibly unreduced) integers into ``[0, p)``.
+
+        This is the ``Mod(a, p_j)`` base-conversion step of Algorithm 7
+        line 6: a coefficient row living modulo ``p_i`` is reinterpreted
+        modulo ``p_j``.
+        """
+
+    def decompose(
+        self, moduli: Sequence[Modulus], coeffs: Sequence[int]
+    ) -> List[List[int]]:
+        """RNS-decompose integer coefficients into one row per modulus.
+
+        Coefficients may be signed or larger than any single modulus;
+        the result row for modulus ``p`` holds ``c mod p`` in ``[0, p)``.
+        """
+        return [self.reduce_mod(m, coeffs) for m in moduli]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

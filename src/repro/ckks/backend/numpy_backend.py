@@ -1,0 +1,255 @@
+"""Vectorized NumPy backend: whole butterfly stages as uint64 array ops.
+
+This is the software analogue of the paper's observation that CKKS time
+is won by *wide* parallelism over butterflies, not by faster scalar
+operations: instead of iterating ``n log n`` Python-level butterflies,
+each Cooley-Tukey / Gentleman-Sande stage is executed as a handful of
+NumPy kernels over all ``n/2`` butterflies at once (the stage's
+butterfly groups become the rows of an ``(m, 2t)`` view of the
+coefficient array, exactly the lane layout a hardware NTT core sees).
+
+Modular reduction strategy, by prime size:
+
+* ``p < 2^32`` -- products of reduced operands fit in a ``uint64``
+  word, so twiddle products use a native widening multiply followed by
+  one vector remainder; additions/subtractions use lazy conditional
+  correction (a compare-select instead of a division), the vector
+  counterpart of the single conditional subtraction in Algorithms 1/2.
+* ``2^32 <= p < 2^52`` -- the HEAX word-size regime (``w = 54`` requires
+  ``p < 2^52``).  The 104-bit product no longer fits in a word, so the
+  quotient is *estimated* in ``float64`` (``q ~= floor(a*b/p)``, off by
+  at most a few units because ``a*b/p < 2^52`` is within the 53-bit
+  mantissa) and the remainder ``a*b - q*p`` is computed exactly in
+  wrapping ``uint64`` arithmetic, then corrected into ``[0, p)`` by a
+  bounded conditional-add/subtract loop.  This is a Barrett-style
+  reduction with the ratio multiply replaced by a float estimate; it is
+  exact, just like Algorithm 1's single-correction guarantee.
+* ``p >= 2^52`` -- outside the word-size-safe envelope (e.g. SEAL's
+  ``w = 64`` regime with 61-bit primes); every operation falls back to
+  the pure-Python reference backend, coefficient for coefficient.
+
+All boundary data stays in the canonical list-of-int row format (see
+:mod:`repro.ckks.backend.base`), so outputs are bit-identical to the
+reference backend -- asserted by ``tests/ckks/test_backend_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ckks.backend.base import PolynomialBackend
+from repro.ckks.backend.reference import ReferenceBackend
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+
+#: Products of operands below this bound fit a native uint64 multiply.
+_DIRECT_MUL_BOUND = 1 << 32
+
+#: Float-estimated Barrett quotients are exact (within the correction
+#: loop's reach) only while ``a*b/p < 2^52`` stays inside the float64
+#: mantissa; this is exactly the HEAX ``p < 2^(w-2)`` bound for w = 54.
+_WORD_SAFE_BOUND = 1 << 52
+
+#: Attribute name under which per-(modulus, n) twiddle arrays are cached
+#: on the NTTTables instance that owns the scalar tables.
+_CACHE_ATTR = "_numpy_twiddle_cache"
+
+
+def _mulmod(a: np.ndarray, b, p: int) -> np.ndarray:
+    """Exact ``a * b mod p`` for uint64 operands reduced below ``p``."""
+    if p < _DIRECT_MUL_BOUND:
+        return (a * b) % np.uint64(p)
+    # Barrett with a float64 quotient estimate: q is off by at most a few
+    # units, and a*b - q*p is exact modulo 2^64, so a short correction
+    # loop lands in [0, p).
+    q = (a.astype(np.float64) * np.asarray(b, dtype=np.float64) / p).astype(np.uint64)
+    r = (a * b - q * np.uint64(p)).view(np.int64)
+    pi = np.int64(p)
+    while True:
+        neg = r < 0
+        if neg.any():
+            r = np.where(neg, r + pi, r)
+            continue
+        high = r >= pi
+        if high.any():
+            r = np.where(high, r - pi, r)
+            continue
+        return r.astype(np.uint64)
+
+
+def _cond_sub(x: np.ndarray, p: int) -> np.ndarray:
+    """Lazy reduction of values in ``[0, 2p)`` into ``[0, p)``."""
+    return np.where(x >= p, x - np.uint64(p), x)
+
+
+class _TwiddleCache:
+    """uint64 views of one table set's twiddles (built once per tables)."""
+
+    __slots__ = ("fwd", "inv")
+
+    def __init__(self, tables: NTTTables):
+        self.fwd = np.array([c.value for c in tables.root_powers], dtype=np.uint64)
+        self.inv = np.array(
+            [c.value for c in tables.inv_root_powers_div2], dtype=np.uint64
+        )
+
+
+class NumpyBackend(PolynomialBackend):
+    """Stage-vectorized uint64 kernels with reference fallback."""
+
+    name = "numpy"
+
+    def __init__(self):
+        self._fallback = ReferenceBackend()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def supports(modulus: Modulus) -> bool:
+        """True when this prime is inside the word-size-safe envelope."""
+        return modulus.value < _WORD_SAFE_BOUND
+
+    @staticmethod
+    def _twiddles(tables: NTTTables) -> _TwiddleCache:
+        cache = getattr(tables, _CACHE_ATTR, None)
+        if cache is None:
+            cache = _TwiddleCache(tables)
+            setattr(tables, _CACHE_ATTR, cache)
+        return cache
+
+    @staticmethod
+    def _row(row: Sequence[int]) -> np.ndarray:
+        if isinstance(row, np.ndarray) and row.dtype == np.uint64:
+            return row
+        return np.asarray(row, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # NTT (Algorithm 3, one vector op sequence per stage)
+    # ------------------------------------------------------------------
+    def ntt_forward(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        if not self.supports(tables.modulus):
+            return self._fallback.ntt_forward(tables, row)
+        n = tables.n
+        if len(row) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(row)}")
+        p = tables.modulus.value
+        w_all = self._twiddles(tables).fwd
+        a = self._row(row).copy()
+        t = n
+        m = 1
+        while m < n:
+            t >>= 1
+            view = a.reshape(m, 2 * t)
+            u = view[:, :t]
+            v = view[:, t:]
+            w = w_all[m : 2 * m].reshape(m, 1)
+            wv = _mulmod(v, w, p)
+            s = _cond_sub(u + wv, p)
+            d = _cond_sub(u + (np.uint64(p) - wv), p)
+            view[:, :t] = s
+            view[:, t:] = d
+            m <<= 1
+        return a.tolist()
+
+    # ------------------------------------------------------------------
+    # INTT (Algorithm 4 with the per-stage halving folded in)
+    # ------------------------------------------------------------------
+    def ntt_inverse(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        if not self.supports(tables.modulus):
+            return self._fallback.ntt_inverse(tables, row)
+        n = tables.n
+        if len(row) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(row)}")
+        p = tables.modulus.value
+        w_all = self._twiddles(tables).inv
+        a = self._row(row).copy()
+        t = 1
+        m = n
+        while m > 1:
+            h = m >> 1
+            view = a.reshape(h, 2 * t)
+            u = view[:, :t]
+            v = view[:, t:]
+            w = w_all[h : 2 * h].reshape(h, 1)
+            s = _cond_sub(u + v, p)
+            # (s + p if odd) >> 1, the Algorithm-4 per-stage halving
+            half = np.where(s & np.uint64(1), (s + np.uint64(p)) >> np.uint64(1), s >> np.uint64(1))
+            d = _cond_sub(u + (np.uint64(p) - v), p)
+            wd = _mulmod(d, w, p)
+            view[:, :t] = half
+            view[:, t:] = wd
+            t <<= 1
+            m = h
+        return a.tolist()
+
+    # ------------------------------------------------------------------
+    # dyadic arithmetic
+    # ------------------------------------------------------------------
+    def add(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.add(modulus, a, b)
+        return _cond_sub(self._row(a) + self._row(b), modulus.value).tolist()
+
+    def sub(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.sub(modulus, a, b)
+        p = modulus.value
+        return _cond_sub(self._row(a) + (np.uint64(p) - self._row(b)), p).tolist()
+
+    def negate(self, modulus: Modulus, a: Sequence[int]) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.negate(modulus, a)
+        arr = self._row(a)
+        return np.where(arr == 0, arr, np.uint64(modulus.value) - arr).tolist()
+
+    def dyadic_mul(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.dyadic_mul(modulus, a, b)
+        return _mulmod(self._row(a), self._row(b), modulus.value).tolist()
+
+    def dyadic_mac(
+        self,
+        modulus: Modulus,
+        acc: Sequence[int],
+        x: Sequence[int],
+        y: Sequence[int],
+    ) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.dyadic_mac(modulus, acc, x, y)
+        p = modulus.value
+        prod = _mulmod(self._row(x), self._row(y), p)
+        return _cond_sub(self._row(acc) + prod, p).tolist()
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def scalar_mul(self, modulus: Modulus, a: Sequence[int], scalar: int) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.scalar_mul(modulus, a, scalar)
+        return _mulmod(self._row(a), np.uint64(scalar), modulus.value).tolist()
+
+    def scalar_mac(
+        self, modulus: Modulus, acc: Sequence[int], a: Sequence[int], scalar: int
+    ) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.scalar_mac(modulus, acc, a, scalar)
+        p = modulus.value
+        prod = _mulmod(self._row(a), np.uint64(scalar), p)
+        return _cond_sub(self._row(acc) + prod, p).tolist()
+
+    # ------------------------------------------------------------------
+    # RNS base conversion
+    # ------------------------------------------------------------------
+    def reduce_mod(self, modulus: Modulus, row: Sequence[int]) -> List[int]:
+        if not self.supports(modulus):
+            return self._fallback.reduce_mod(modulus, row)
+        try:
+            arr = np.asarray(row, dtype=np.uint64)
+        except (OverflowError, ValueError):
+            # signed or multi-word coefficients (e.g. raw encoder output):
+            # Python big-int reduction is the only exact path
+            return self._fallback.reduce_mod(modulus, row)
+        return (arr % np.uint64(modulus.value)).tolist()

@@ -17,14 +17,20 @@ where ``k`` is the number of RNS components of the ciphertext modulus
 
 :class:`CkksContext` performs every precomputation the scheme needs:
 the NTT-friendly modulus chain, per-prime twiddle tables, rescaling
-constants and Galois (rotation) index maps.
+constants and Galois (rotation) index maps.  It is also the backend
+anchor: polynomial kernels routed through a context use its
+``backend`` -- the process-wide active backend by default (see
+:mod:`repro.ckks.backend` and the ``REPRO_BACKEND`` environment
+variable), or one pinned at construction time with
+``CkksContext(params, backend="reference")``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.ckks.backend import PolynomialBackend, get_backend, resolve_backend
 from repro.ckks.modarith import HEAX_WORD_BITS, Modulus
 from repro.ckks.ntt import NTTTables
 from repro.ckks.poly import RnsPolynomial
@@ -138,8 +144,17 @@ def toy_parameters(
 class CkksContext:
     """All precomputed state shared by encoder, keys and evaluator."""
 
-    def __init__(self, params: CkksParameters):
+    def __init__(
+        self,
+        params: CkksParameters,
+        backend: Union[PolynomialBackend, str, None] = None,
+    ):
         self.params = params
+        #: None means "follow the process-wide active backend"; anything
+        #: else pins this context to one backend regardless of the global.
+        self._backend: Optional[PolynomialBackend] = (
+            resolve_backend(backend) if backend is not None else None
+        )
         chain = make_modulus_chain(
             params.n, list(params.modulus_bits), params.word_bits
         )
@@ -164,6 +179,11 @@ class CkksContext:
     def k(self) -> int:
         return self.params.k
 
+    @property
+    def backend(self) -> PolynomialBackend:
+        """The polynomial backend this context routes kernels through."""
+        return self._backend if self._backend is not None else get_backend()
+
     def basis_at_level(self, level_count: int) -> RnsBasis:
         """The first ``level_count`` data primes as an RNS basis."""
         if not 1 <= level_count <= self.params.k:
@@ -186,20 +206,18 @@ class CkksContext:
         """Transform every residue polynomial to NTT form (Algorithm 3)."""
         if poly.is_ntt:
             raise ValueError("polynomial already in NTT form")
-        residues = [
-            self._tables[m.value].forward(r)
-            for m, r in zip(poly.moduli, poly.residues)
-        ]
+        residues = self.backend.ntt_forward_rows(
+            [self._tables[m.value] for m in poly.moduli], poly.residues
+        )
         return RnsPolynomial(poly.n, poly.moduli, residues, is_ntt=True)
 
     def from_ntt(self, poly: RnsPolynomial) -> RnsPolynomial:
         """Transform every residue polynomial back (Algorithm 4)."""
         if not poly.is_ntt:
             raise ValueError("polynomial not in NTT form")
-        residues = [
-            self._tables[m.value].inverse(r)
-            for m, r in zip(poly.moduli, poly.residues)
-        ]
+        residues = self.backend.ntt_inverse_rows(
+            [self._tables[m.value] for m in poly.moduli], poly.residues
+        )
         return RnsPolynomial(poly.n, poly.moduli, residues, is_ntt=False)
 
     # ------------------------------------------------------------------

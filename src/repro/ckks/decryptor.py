@@ -1,7 +1,10 @@
 """Decryption: ``CKKS.Dec(ct, sk) = <ct, (1, s, s^2, ...)> mod q_l``.
 
 Handles ciphertexts of any size (un-relinearized products included) by
-accumulating successive powers of ``s`` in the NTT domain.
+accumulating successive powers of ``s`` in the NTT domain.  The dyadic
+products and additions dispatch to the active polynomial backend via
+:class:`repro.ckks.poly.RnsPolynomial`, so decryption output is
+bit-identical whichever backend computed it.
 """
 
 from __future__ import annotations
@@ -22,12 +25,13 @@ class Decryptor:
         """Return the plaintext ``c0 + c1 s + c2 s^2 + ...`` (NTT form)."""
         if not ciphertext.is_ntt:
             raise ValueError("ciphertexts are kept in NTT form")
+        be = self.context.backend
         s = self.secret_key.restricted(ciphertext.moduli)
         acc = ciphertext.polys[0].clone()
         s_power = None
         for poly in ciphertext.polys[1:]:
-            s_power = s if s_power is None else s_power.dyadic_multiply(s)
-            acc = acc.add(poly.dyadic_multiply(s_power))
+            s_power = s if s_power is None else s_power.dyadic_multiply(s, backend=be)
+            acc = acc.add(poly.dyadic_multiply(s_power, backend=be), backend=be)
         return Plaintext(acc, ciphertext.scale)
 
     def invariant_noise_budget_proxy(self, ciphertext: Ciphertext, reference: Plaintext) -> float:
@@ -43,7 +47,7 @@ class Decryptor:
 
         ctx = self.context
         dec = self.decrypt(ciphertext)
-        diff = dec.poly.sub(reference.poly)
+        diff = dec.poly.sub(reference.poly, backend=ctx.backend)
         coeff = ctx.from_ntt(diff) if diff.is_ntt else diff
         basis = RnsBasis(coeff.moduli)
         max_err = 0

@@ -6,6 +6,12 @@ modulus ``q`` (the standard RLWE construction) rather than via the
 paper's special-modulus-divide variant: encryption is a client-side
 operation outside the accelerator's scope, and the resulting ciphertext
 distribution and noise are the standard ones either way.
+
+All polynomial arithmetic here (NTT transforms via the context, dyadic
+products via :class:`repro.ckks.poly.RnsPolynomial`) routes through the
+active polynomial backend; only the randomness sampling stays scalar, so
+ciphertexts are bit-identical across backends for a fixed seed -- the
+property the backend equivalence tests pin down.
 """
 
 from __future__ import annotations
@@ -58,19 +64,26 @@ class Encryptor:
         m, moduli = self._plain_basis(plaintext)
         pk_b = restrict_to_moduli(self._public_key.b, moduli)
         pk_a = restrict_to_moduli(self._public_key.a, moduli)
+        be = ctx.backend
         u = ctx.to_ntt(self.sampler.ternary_poly(ctx.n, moduli))
         e0 = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
         e1 = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
-        c0 = pk_b.dyadic_multiply(u).add(e0).add(m)
-        c1 = pk_a.dyadic_multiply(u).add(e1)
+        c0 = pk_b.dyadic_multiply(u, backend=be).add(e0, backend=be).add(m, backend=be)
+        c1 = pk_a.dyadic_multiply(u, backend=be).add(e1, backend=be)
         return Ciphertext([c0, c1], plaintext.scale)
 
     def _encrypt_symmetric(self, plaintext: Plaintext) -> Ciphertext:
         """``SymEnc(m, s)``: sample ``a``, return ``(-(a s) + e + m, a)``."""
         ctx = self.context
         m, moduli = self._plain_basis(plaintext)
+        be = ctx.backend
         a = self.sampler.uniform_residues(ctx.n, moduli)
         e = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
         s = self._secret_key.restricted(moduli)
-        c0 = a.dyadic_multiply(s).negate().add(e).add(m)
+        c0 = (
+            a.dyadic_multiply(s, backend=be)
+            .negate(backend=be)
+            .add(e, backend=be)
+            .add(m, backend=be)
+        )
         return Ciphertext([c0, a], plaintext.scale)

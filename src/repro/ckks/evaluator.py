@@ -11,6 +11,11 @@
 All ciphertext polynomials are kept in RNS + NTT form throughout, exactly
 as in SEAL/HEAX; the only INTT/NTT conversions happen inside KeySwitch and
 rescaling, mirroring the hardware dataflow of Figure 5.
+
+The per-coefficient inner loops (NTT fan-out, dyadic multiply-accumulate,
+base conversion, flooring) all dispatch to the context's polynomial
+backend, so the same evaluator code runs against the pure-Python
+reference kernels or the vectorized numpy ones unchanged.
 """
 
 from __future__ import annotations
@@ -55,9 +60,12 @@ class Evaluator:
         """CKKS.Add: componentwise sum (sizes may differ)."""
         self._check_scales(ct0.scale, ct1.scale)
         self._check_levels(ct0, ct1)
+        be = self.context.backend
         big, small = (ct0, ct1) if ct0.size >= ct1.size else (ct1, ct0)
         polys = [
-            big.polys[i].add(small.polys[i]) if i < small.size else big.polys[i].clone()
+            big.polys[i].add(small.polys[i], backend=be)
+            if i < small.size
+            else big.polys[i].clone()
             for i in range(big.size)
         ]
         return Ciphertext(polys, ct0.scale)
@@ -66,33 +74,35 @@ class Evaluator:
         """Componentwise difference."""
         self._check_scales(ct0.scale, ct1.scale)
         self._check_levels(ct0, ct1)
+        be = self.context.backend
         size = max(ct0.size, ct1.size)
         polys = []
         for i in range(size):
             if i < ct0.size and i < ct1.size:
-                polys.append(ct0.polys[i].sub(ct1.polys[i]))
+                polys.append(ct0.polys[i].sub(ct1.polys[i], backend=be))
             elif i < ct0.size:
                 polys.append(ct0.polys[i].clone())
             else:
-                polys.append(ct1.polys[i].negate())
+                polys.append(ct1.polys[i].negate(backend=be))
         return Ciphertext(polys, ct0.scale)
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
-        return Ciphertext([p.negate() for p in ct.polys], ct.scale)
+        be = self.context.backend
+        return Ciphertext([p.negate(backend=be) for p in ct.polys], ct.scale)
 
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Add an (NTT-form, level-matched) plaintext to ``c0``."""
         self._check_scales(ct.scale, pt.scale)
         self._check_levels(ct, pt)
         polys = [p.clone() for p in ct.polys]
-        polys[0] = polys[0].add(pt.poly)
+        polys[0] = polys[0].add(pt.poly, backend=self.context.backend)
         return Ciphertext(polys, ct.scale)
 
     def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         self._check_scales(ct.scale, pt.scale)
         self._check_levels(ct, pt)
         polys = [p.clone() for p in ct.polys]
-        polys[0] = polys[0].sub(pt.poly)
+        polys[0] = polys[0].sub(pt.poly, backend=self.context.backend)
         return Ciphertext(polys, ct.scale)
 
     # ------------------------------------------------------------------
@@ -106,29 +116,34 @@ class Evaluator:
         all dyadic since operands are in NTT form.
         """
         self._check_levels(ct0, ct1)
+        be = self.context.backend
         alpha, beta = ct0.size, ct1.size
         out: List[RnsPolynomial] = [None] * (alpha + beta - 1)
         for i in range(alpha):
             for j in range(beta):
-                term = ct0.polys[i].dyadic_multiply(ct1.polys[j])
-                out[i + j] = term if out[i + j] is None else out[i + j].add(term)
+                term = ct0.polys[i].dyadic_multiply(ct1.polys[j], backend=be)
+                out[i + j] = (
+                    term if out[i + j] is None else out[i + j].add(term, backend=be)
+                )
         return Ciphertext(out, ct0.scale * ct1.scale)
 
     def square(self, ct: Ciphertext) -> Ciphertext:
         """Homomorphic squaring (saves one dyadic product vs multiply)."""
         if ct.size != 2:
             return self.multiply(ct, ct)
+        be = self.context.backend
         a0, a1 = ct.polys
-        c0 = a0.dyadic_multiply(a0)
-        cross = a0.dyadic_multiply(a1)
-        c1 = cross.add(cross)
-        c2 = a1.dyadic_multiply(a1)
+        c0 = a0.dyadic_multiply(a0, backend=be)
+        cross = a0.dyadic_multiply(a1, backend=be)
+        c1 = cross.add(cross, backend=be)
+        c2 = a1.dyadic_multiply(a1, backend=be)
         return Ciphertext([c0, c1, c2], ct.scale * ct.scale)
 
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Ciphertext-plaintext product (the MULT module's C-P mode)."""
         self._check_levels(ct, pt)
-        polys = [p.dyadic_multiply(pt.poly) for p in ct.polys]
+        be = self.context.backend
+        polys = [p.dyadic_multiply(pt.poly, backend=be) for p in ct.polys]
         return Ciphertext(polys, ct.scale * pt.scale)
 
     # ------------------------------------------------------------------
@@ -141,26 +156,21 @@ class Evaluator:
         prime ``p_i``: ``c'_i = [p_last^{-1} (c_i - NTT([a]_{p_i}))]``.
         """
         ctx = self.context
+        be = ctx.backend
         if not poly.is_ntt:
             raise ValueError("flooring operates on NTT-form polynomials")
         if poly.level_count < 2:
             raise ValueError("need at least two RNS components to floor")
         last_mod = poly.moduli[-1]
-        a = ctx.tables(last_mod).inverse(poly.residues[-1])
+        a = be.ntt_inverse(ctx.tables(last_mod), poly.residues[-1])
         out_rows = []
         out_moduli = poly.moduli[:-1]
         for i, m in enumerate(out_moduli):
             p = m.value
             inv_last = pow(last_mod.value % p, -1, p)
-            r = [x % p for x in a]
-            r_ntt = ctx.tables(m).forward(r)
-            row = []
-            for c, rr in zip(poly.residues[i], r_ntt):
-                d = c - rr
-                if d < 0:
-                    d += p
-                row.append(m.mul(d, inv_last))
-            out_rows.append(row)
+            r_ntt = be.ntt_forward(ctx.tables(m), be.reduce_mod(m, a))
+            diff = be.sub(m, poly.residues[i], r_ntt)
+            out_rows.append(be.scalar_mul(m, diff, inv_last))
         return RnsPolynomial(poly.n, out_moduli, out_rows, is_ntt=True)
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
@@ -194,6 +204,7 @@ class Evaluator:
         by the special prime.
         """
         ctx = self.context
+        be = ctx.backend
         if not target.is_ntt:
             raise ValueError("key switching operates on NTT-form input")
         level = target.level_count
@@ -207,7 +218,7 @@ class Evaluator:
         for i in range(level):
             p_i = data_moduli[i]
             # line 3: back to coefficient domain for this component
-            a = ctx.tables(p_i).inverse(target.residues[i])
+            a = be.ntt_inverse(ctx.tables(p_i), target.residues[i])
             d0, d1 = ksk.digit(i)
             d0_rows = _rows_for(d0, ext_moduli)
             d1_rows = _rows_for(d1, ext_moduli)
@@ -215,11 +226,11 @@ class Evaluator:
                 if m_j.value == p_i.value:
                     b_ntt = target.residues[i]  # line 9: already in NTT form
                 else:
-                    b = [x % m_j.value for x in a]  # line 6: Mod(a, p_j)
-                    b_ntt = ctx.tables(m_j).forward(b)  # line 7
+                    b = be.reduce_mod(m_j, a)  # line 6: Mod(a, p_j)
+                    b_ntt = be.ntt_forward(ctx.tables(m_j), b)  # line 7
                 # lines 11-12 / 16-17: dyadic multiply-accumulate
-                _dyadic_mac(acc0.residues[j], b_ntt, d0_rows[j], m_j)
-                _dyadic_mac(acc1.residues[j], b_ntt, d1_rows[j], m_j)
+                acc0.residues[j] = be.dyadic_mac(m_j, acc0.residues[j], b_ntt, d0_rows[j])
+                acc1.residues[j] = be.dyadic_mac(m_j, acc1.residues[j], b_ntt, d1_rows[j])
         # line 19: Floor by the special prime (Modulus Switch)
         return self._floor_divide_last(acc0), self._floor_divide_last(acc1)
 
@@ -227,9 +238,11 @@ class Evaluator:
         """CKKS.Relin: reduce a size-3 ciphertext back to size 2."""
         if ct.size != 3:
             raise ValueError(f"relinearize expects size-3 ciphertext, got {ct.size}")
+        be = self.context.backend
         f0, f1 = self.keyswitch_polynomial(ct.polys[2], relin_key)
         return Ciphertext(
-            [ct.polys[0].add(f0), ct.polys[1].add(f1)], ct.scale
+            [ct.polys[0].add(f0, backend=be), ct.polys[1].add(f1, backend=be)],
+            ct.scale,
         )
 
     def multiply_relin(
@@ -259,7 +272,9 @@ class Evaluator:
             raise ValueError("Galois key does not match the requested element")
         rotated = self._apply_galois_ct(ct, galois_elt)
         f0, f1 = self.keyswitch_polynomial(rotated.polys[1], key)
-        return Ciphertext([rotated.polys[0].add(f0), f1], ct.scale)
+        return Ciphertext(
+            [rotated.polys[0].add(f0, backend=self.context.backend), f1], ct.scale
+        )
 
     def rotate(
         self, ct: Ciphertext, step: int, galois_keys: GaloisKeySet
@@ -278,12 +293,3 @@ def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
     """Select the residue rows of a full-basis key poly for these moduli."""
     index = {m.value: i for i, m in enumerate(poly.moduli)}
     return [poly.residues[index[m.value]] for m in moduli]
-
-
-def _dyadic_mac(acc: List[int], x: List[int], y: List[int], modulus) -> None:
-    """In-place ``acc += x ⊙ y mod p`` (one DyadMult-and-accumulate lane)."""
-    p = modulus.value
-    mul = modulus.mul
-    for t in range(len(acc)):
-        v = acc[t] + mul(x[t], y[t])
-        acc[t] = v - p if v >= p else v

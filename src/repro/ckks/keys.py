@@ -116,10 +116,11 @@ class KeyGenerator:
     def _symmetric_zero(self, moduli) -> Tuple[RnsPolynomial, RnsPolynomial]:
         """``SymEnc(0, s)`` over the given basis: ``(-(a s) + e, a)``."""
         ctx = self.context
+        be = ctx.backend
         a = self.sampler.uniform_residues(ctx.n, moduli)
         e = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
         s = self._secret.restricted(moduli)
-        b = a.dyadic_multiply(s).negate().add(e)
+        b = a.dyadic_multiply(s, backend=be).negate(backend=be).add(e, backend=be)
         return b, a
 
     def public_key(self) -> PublicKey:
@@ -133,26 +134,25 @@ class KeyGenerator:
     def _kswitch_key(self, target_ntt: RnsPolynomial) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
         """KskGen: encrypt ``P * g_i * target`` under ``s`` per digit ``i``."""
         ctx = self.context
+        be = ctx.backend
         key_moduli = ctx.key_basis.moduli
         special = ctx.special_modulus
         digits = []
         for i in range(ctx.k):
             b, a = self._symmetric_zero(key_moduli)
             # Add [P]_{p_i} * [target]_{p_i} to residue row i of b only.
-            p_i = key_moduli[i].value
-            factor = special.value % p_i
-            row = b.residues[i]
-            trow = target_ntt.residues[i]
             mod_i = key_moduli[i]
-            for t in range(ctx.n):
-                row[t] = mod_i.add(row[t], mod_i.mul(factor, trow[t]))
+            factor = special.value % mod_i.value
+            b.residues[i] = be.scalar_mac(
+                mod_i, b.residues[i], target_ntt.residues[i], factor
+            )
             digits.append((b, a))
         return digits
 
     def relin_key(self) -> RelinKey:
         """``CKKS.RlkGen``: key switching key for ``s^2``."""
         s = self._secret.poly
-        s_squared = s.dyadic_multiply(s)
+        s_squared = s.dyadic_multiply(s, backend=self.context.backend)
         return RelinKey(self._kswitch_key(s_squared))
 
     def galois_key(self, galois_elt: int) -> GaloisKey:

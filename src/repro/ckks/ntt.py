@@ -14,6 +14,12 @@ the total ``1/n`` scaling has been applied with no final pass.
 Because forward output order equals inverse input order, *dyadic*
 (coefficient-wise) operations can be performed directly on NTT-form data,
 which is exactly the representation HEAX keeps ciphertexts in.
+
+The scalar butterfly loops in this module are the **reference kernels**:
+they define the transform (table layout, stage order, per-stage halving)
+that every optimized backend in :mod:`repro.ckks.backend` must reproduce
+bit for bit.  Scheme code does not call them directly -- it goes through
+the active backend, which may execute each stage vectorized instead.
 """
 
 from __future__ import annotations

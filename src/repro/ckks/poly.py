@@ -9,12 +9,23 @@ evaluator check domain discipline instead of silently producing garbage.
 
 :class:`Plaintext` and :class:`Ciphertext` wrap RNS polynomials with the
 CKKS metadata (scale, level).
+
+All coefficient-level arithmetic dispatches to a polynomial backend
+(:mod:`repro.ckks.backend`): residue rows stay plain lists of ints --
+the canonical interchange format -- while the backend is free to
+compute on them however it likes (the numpy backend lifts each row into
+a ``uint64`` array, runs the kernel vectorized, and lowers the result).
+Each operation takes an optional ``backend`` argument; when omitted,
+the process-wide active backend is used.  Code that holds a
+:class:`repro.ckks.context.CkksContext` passes ``ctx.backend`` so that
+a context-pinned backend is honored end to end.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.ckks.backend import get_backend
 from repro.ckks.modarith import Modulus
 
 
@@ -51,7 +62,7 @@ class RnsPolynomial:
     ) -> "RnsPolynomial":
         """Reduce signed integer coefficients into every RNS component."""
         n = len(coeffs)
-        residues = [[c % m.value for c in coeffs] for m in moduli]
+        residues = get_backend().decompose(list(moduli), coeffs)
         return cls(n, moduli, residues, is_ntt)
 
     def clone(self) -> "RnsPolynomial":
@@ -80,47 +91,48 @@ class RnsPolynomial:
         if self.is_ntt != other.is_ntt:
             raise ValueError("NTT-form mismatch (transform before combining)")
 
-    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+    def add(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         self._check_compatible(other)
-        out = []
-        for m, a, b in zip(self.moduli, self.residues, other.residues):
-            p = m.value
-            row = [x + y for x, y in zip(a, b)]
-            out.append([v - p if v >= p else v for v in row])
+        be = backend if backend is not None else get_backend()
+        out = [
+            be.add(m, a, b)
+            for m, a, b in zip(self.moduli, self.residues, other.residues)
+        ]
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
-    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+    def sub(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         self._check_compatible(other)
-        out = []
-        for m, a, b in zip(self.moduli, self.residues, other.residues):
-            p = m.value
-            row = [x - y for x, y in zip(a, b)]
-            out.append([v + p if v < 0 else v for v in row])
+        be = backend if backend is not None else get_backend()
+        out = [
+            be.sub(m, a, b)
+            for m, a, b in zip(self.moduli, self.residues, other.residues)
+        ]
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
-    def negate(self) -> "RnsPolynomial":
-        out = []
-        for m, a in zip(self.moduli, self.residues):
-            p = m.value
-            out.append([0 if x == 0 else p - x for x in a])
+    def negate(self, backend=None) -> "RnsPolynomial":
+        be = backend if backend is not None else get_backend()
+        out = [be.negate(m, a) for m, a in zip(self.moduli, self.residues)]
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
-    def dyadic_multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
+    def dyadic_multiply(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         """Coefficient-wise product; equals ring product in NTT form."""
         self._check_compatible(other)
-        out = []
-        for m, a, b in zip(self.moduli, self.residues, other.residues):
-            out.append([m.mul(x, y) for x, y in zip(a, b)])
+        be = backend if backend is not None else get_backend()
+        out = [
+            be.dyadic_mul(m, a, b)
+            for m, a, b in zip(self.moduli, self.residues, other.residues)
+        ]
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
-    def multiply_scalar(self, scalars) -> "RnsPolynomial":
+    def multiply_scalar(self, scalars, backend=None) -> "RnsPolynomial":
         """Multiply by a per-modulus scalar (int or list of ints)."""
         if isinstance(scalars, int):
             scalars = [scalars] * len(self.moduli)
-        out = []
-        for m, s, a in zip(self.moduli, scalars, self.residues):
-            s = s % m.value
-            out.append([m.mul(x, s) for x in a])
+        be = backend if backend is not None else get_backend()
+        out = [
+            be.scalar_mul(m, a, s % m.value)
+            for m, s, a in zip(self.moduli, scalars, self.residues)
+        ]
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     # ------------------------------------------------------------------

@@ -10,6 +10,11 @@ module provides:
 * the **gadget decomposition** of Section 2 used by key switching
   (Algorithm 7): ``g^{-1}(a) = ([a]_{p_0}, ..., [a]_{p_l})`` with gadget
   vector ``g_i = π_i [π_i^{-1}]_{p_i}``.
+
+Whole-polynomial base conversion (:meth:`RnsBasis.decompose_rows`)
+routes through the active polynomial backend so that reducing ``n``
+coefficients into every residue row is one vectorized pass per prime
+instead of ``n * k`` Python modulo operations.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.ckks.backend import get_backend
 from repro.ckks.modarith import Modulus
 
 
@@ -65,6 +71,15 @@ class RnsBasis:
     def decompose(self, value: int) -> List[int]:
         """Map an integer in ``[0, q)`` to its residue vector."""
         return [value % m.value for m in self.moduli]
+
+    def decompose_rows(self, coeffs: Sequence[int]) -> List[List[int]]:
+        """RNS-decompose a whole coefficient vector: one row per prime.
+
+        The vector form of :meth:`decompose`, dispatched to the active
+        polynomial backend (coefficients may be signed or multi-word;
+        backends fall back to exact big-int reduction when needed).
+        """
+        return get_backend().decompose(list(self.moduli), coeffs)
 
     def compose(self, residues: Sequence[int]) -> int:
         """CRT-reconstruct the integer in ``[0, q)`` from residues.

@@ -103,20 +103,24 @@ class KeySwitchModuleSim:
             key_rows0.append(_rows_for(d0, ext_moduli))
             key_rows1.append(_rows_for(d1, ext_moduli))
 
+        be = ctx.backend
         for i in range(lc):
             p_i = data_moduli[i]
             # --- INTT0 -----------------------------------------------
-            a = ctx.tables(p_i).inverse(target.residues[i])
+            a = be.ntt_inverse(ctx.tables(p_i), target.residues[i])
             # --- NTT0 fan-out + DyadMult accumulation ----------------
             for j, m_j in enumerate(ext_moduli):
                 if m_j.value == p_i.value:
                     # the synchronized input-poly DyadMult module
                     b_ntt = target.residues[i]
                 else:
-                    b = [x % m_j.value for x in a]
-                    b_ntt = ctx.tables(m_j).forward(b)
-                _dyadic_mac(acc0.residues[j], b_ntt, key_rows0[i][j], m_j)
-                _dyadic_mac(acc1.residues[j], b_ntt, key_rows1[i][j], m_j)
+                    b_ntt = be.ntt_forward(ctx.tables(m_j), be.reduce_mod(m_j, a))
+                acc0.residues[j] = be.dyadic_mac(
+                    m_j, acc0.residues[j], b_ntt, key_rows0[i][j]
+                )
+                acc1.residues[j] = be.dyadic_mac(
+                    m_j, acc1.residues[j], b_ntt, key_rows1[i][j]
+                )
 
         # --- Modulus Switch (INTT1 -> NTT1 -> MS) ---------------------
         out0 = self._modulus_switch(acc0)
@@ -127,21 +131,17 @@ class KeySwitchModuleSim:
     def _modulus_switch(self, acc: RnsPolynomial) -> RnsPolynomial:
         """Floor by the special prime (Algorithm 6 on the accumulator)."""
         ctx = self.context
+        be = ctx.backend
         special = acc.moduli[-1]
-        a = ctx.tables(special).inverse(acc.residues[-1])
+        a = be.ntt_inverse(ctx.tables(special), acc.residues[-1])
         out_moduli = acc.moduli[:-1]
         rows = []
         for i, m in enumerate(out_moduli):
             p = m.value
             inv_sp = pow(special.value % p, -1, p)
-            r_ntt = ctx.tables(m).forward([x % p for x in a])
-            row = []
-            for c, rr in zip(acc.residues[i], r_ntt):
-                d = c - rr
-                if d < 0:
-                    d += p
-                row.append(m.mul(d, inv_sp))
-            rows.append(row)
+            r_ntt = be.ntt_forward(ctx.tables(m), be.reduce_mod(m, a))
+            diff = be.sub(m, acc.residues[i], r_ntt)
+            rows.append(be.scalar_mul(m, diff, inv_sp))
         return RnsPolynomial(acc.n, out_moduli, rows, is_ntt=True)
 
     # ------------------------------------------------------------------
@@ -262,11 +262,3 @@ class KeySwitchModuleSim:
 def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
     index = {m.value: i for i, m in enumerate(poly.moduli)}
     return [poly.residues[index[m.value]] for m in moduli]
-
-
-def _dyadic_mac(acc: List[int], x: List[int], y: List[int], modulus) -> None:
-    p = modulus.value
-    mul = modulus.mul
-    for t in range(len(acc)):
-        v = acc[t] + mul(x[t], y[t])
-        acc[t] = v - p if v >= p else v
