@@ -1,21 +1,38 @@
 # Convenience wrappers around the verify/bench recipes in ROADMAP.md.
 #
 #   make test           tier-1 verification suite
+#   make test-fast      tier-1 minus slow-marked paper-scale tests
+#   make test-both      tier-1 on both polynomial backends
 #   make bench          every paper table/figure benchmark (writes benchmarks/results/)
 #   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
+#   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
+#   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-backend
+.PHONY: test test-fast test-both bench bench-backend bench-batch vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+test-both:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest -x -q
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest $(BENCHES) -q
 
 bench-backend:
 	$(PYTHON) -m pytest benchmarks/bench_backend_speedup.py -q -s
+
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+
+vectors:
+	$(PYTHON) tests/vectors/regenerate.py

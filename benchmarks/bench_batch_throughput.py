@@ -1,0 +1,195 @@
+"""Batched ciphertext throughput: BatchEvaluator vs per-ciphertext cost.
+
+HEAX's outermost level of parallelism is ciphertext-level (Figure 7):
+the host queues many independent ciphertexts and the accelerator
+streams them through shared pipelines, so per-ciphertext cost falls as
+the batch grows.  This bench is the software edition of that claim: the
+same homomorphic operations, run through
+:class:`repro.ckks.batch.BatchEvaluator` at batch sizes 1/2/4/8 on the
+numpy backend, reporting *per-ciphertext* operation throughput.  The
+fixed per-operation costs (Python dispatch, per-stage kernel launches,
+boundary conversions) amortize across the batch exactly like the
+pipeline fill/drain overhead the hardware amortizes.
+
+Acceptance gate (ISSUE 2): batch-8 per-ciphertext throughput of
+relinearization -- the KeySwitch-bound operation HEAX is built around
+(Table 8) -- must be >= 3x batch-1, with batched outputs bit-identical
+to the reference backend (asserted here on a small ring; the full
+randomized cross-backend evidence lives in the differential harness,
+``tests/ckks/test_differential.py``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ckks.backend import available_backends, use_backend
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.keys import KeyGenerator
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available on this host",
+)
+
+#: Batch sizes swept (powers of two up to the gated batch-8 point).
+BATCH_SIZES = (1, 2, 4, 8)
+
+#: Gated ring: the overhead-amortization regime the batch layer targets
+#: (also the golden-trace ring of tests/vectors/).  A Set-A-sized ring
+#: is reported as well, un-gated: at n = 4096 the kernels are already
+#: memory-bound per ciphertext, so batching buys less there.
+GATED_N, GATED_K = 1024, 3
+REPORT_N, REPORT_K = 4096, 2
+
+#: Required relinearize speedup: batch-8 per-ciphertext vs batch-1.
+MIN_RELIN_BATCH8_SPEEDUP = 3.0
+
+#: Sanity floor for the full mult+relin+rescale pipeline.
+MIN_PIPELINE_BATCH8_SPEEDUP = 2.0
+
+
+def _fixture(n: int, k: int, batch_size: int, seed: int = 7):
+    ctx = CkksContext(toy_parameters(n=n, k=k, prime_bits=30))
+    keygen = KeyGenerator(ctx, seed=seed)
+    encryptor = Encryptor(ctx, keygen.public_key(), seed=seed + 1)
+    encoder = CkksEncoder(ctx)
+    bev = BatchEvaluator(ctx)
+    batch = bev.encrypt(
+        encryptor, [encoder.encode(float(b + 1)) for b in range(batch_size)]
+    )
+    return bev, batch, keygen
+
+
+def _best_seconds(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _per_ct_throughput(n: int, k: int, batch_size: int):
+    """Per-ciphertext ops/sec for each batched operation at one size."""
+    bev, batch, keygen = _fixture(n, k, batch_size)
+    relin_key = keygen.relin_key()
+    galois_keys = keygen.galois_keys([1])
+    prod = bev.multiply(batch, batch)
+    ops = {
+        "add": lambda: bev.add(batch, batch),
+        "multiply": lambda: bev.multiply(batch, batch),
+        "relinearize": lambda: bev.relinearize(prod, relin_key),
+        "rescale": lambda: bev.rescale(batch),
+        "rotate": lambda: bev.rotate(batch, 1, galois_keys),
+        "mult+relin+rescale": lambda: bev.rescale(
+            bev.relinearize(bev.multiply(batch, batch), relin_key)
+        ),
+    }
+    return {name: batch_size / _best_seconds(fn) for name, fn in ops.items()}
+
+
+def _sweep(n: int, k: int):
+    with use_backend("numpy"):
+        return {bs: _per_ct_throughput(n, k, bs) for bs in BATCH_SIZES}
+
+
+def _gates_hold(sweep) -> bool:
+    """Every CI-blocking condition the test asserts, in one place."""
+    return (
+        sweep[8]["relinearize"] / sweep[1]["relinearize"]
+        >= MIN_RELIN_BATCH8_SPEEDUP
+        and sweep[8]["mult+relin+rescale"] / sweep[1]["mult+relin+rescale"]
+        >= MIN_PIPELINE_BATCH8_SPEEDUP
+        and all(
+            sweep[8][op] > sweep[1][op]
+            for op in ("relinearize", "rescale", "rotate")
+        )
+    )
+
+
+def _gated_sweep():
+    """Best of two sweeps at the gated ring (timing-noise mitigation)."""
+    sweep = _sweep(GATED_N, GATED_K)
+    if not _gates_hold(sweep):
+        retry = _sweep(GATED_N, GATED_K)
+        sweep = {
+            bs: {op: max(sweep[bs][op], retry[bs][op]) for op in sweep[bs]}
+            for bs in sweep
+        }
+    return sweep
+
+
+def test_batch_throughput_scaling(benchmark, emit):
+    gated = benchmark.pedantic(_gated_sweep, rounds=1, iterations=1)
+    report = _sweep(REPORT_N, REPORT_K)
+
+    rows = []
+    for (n, k, sweep) in ((GATED_N, GATED_K, gated), (REPORT_N, REPORT_K, report)):
+        for op in sweep[1]:
+            base = sweep[1][op]
+            rows.append(
+                [n, k, op]
+                + [f"{sweep[bs][op]:.0f}" for bs in BATCH_SIZES]
+                + [f"{sweep[8][op] / base:.2f}x"]
+            )
+    emit(
+        "batch_throughput",
+        render_table(
+            "Batched ciphertext-level throughput (numpy backend, "
+            "per-ciphertext ops/sec by batch size)",
+            ["n", "k", "op"] + [f"batch-{bs}" for bs in BATCH_SIZES] + ["b8/b1"],
+            rows,
+            note="gate: relinearize (the KeySwitch-bound op of Table 8) "
+            f"batch-8 >= {MIN_RELIN_BATCH8_SPEEDUP}x batch-1 per-ciphertext "
+            f"throughput at n = {GATED_N}.",
+        ),
+    )
+
+    relin_speedup = gated[8]["relinearize"] / gated[1]["relinearize"]
+    assert relin_speedup >= MIN_RELIN_BATCH8_SPEEDUP, (
+        f"batch-8 relinearize throughput only {relin_speedup:.2f}x batch-1 "
+        f"(gate: {MIN_RELIN_BATCH8_SPEEDUP}x)"
+    )
+    pipeline_speedup = (
+        gated[8]["mult+relin+rescale"] / gated[1]["mult+relin+rescale"]
+    )
+    assert pipeline_speedup >= MIN_PIPELINE_BATCH8_SPEEDUP, (
+        f"batch-8 mult+relin+rescale throughput only {pipeline_speedup:.2f}x "
+        f"batch-1 (floor: {MIN_PIPELINE_BATCH8_SPEEDUP}x)"
+    )
+    # the KeySwitch-family ops must all win at the gated batch size
+    # (batch-2/4 deltas are small enough to drown in scheduler jitter,
+    # so intermediate sizes are reported but not asserted)
+    for op in ("relinearize", "rescale", "rotate"):
+        assert gated[8][op] > gated[1][op], (
+            f"batched {op} slower per-ciphertext at batch 8 than batch 1"
+        )
+
+
+def test_batched_results_bit_identical_to_reference(emit):
+    """The speed is only admissible because the bits are identical.
+
+    One batched multiply->relinearize->rescale trace on a small ring,
+    numpy vs reference, compared element by element after split().
+    """
+
+    def trace(backend_name):
+        with use_backend(backend_name):
+            bev, batch, keygen = _fixture(64, 3, 4, seed=21)
+            out = bev.rescale(
+                bev.relinearize(bev.multiply(batch, batch), keygen.relin_key())
+            )
+            return [[p.residues for p in ct.polys] for ct in out.split()]
+
+    assert trace("numpy") == trace("reference")

@@ -32,6 +32,13 @@ bit-exact ground truth, while the vectorized ``numpy`` backend (the
 default when NumPy is installed) runs NTT stages and dyadic operations
 as whole-array kernels.  Select with ``set_backend``/``use_backend`` or
 the ``REPRO_BACKEND`` environment variable.
+
+Ciphertext-level parallelism -- the outermost level of HEAX's system
+design (Figure 7) -- lives in :mod:`repro.ckks.batch`:
+:class:`CiphertextBatch` stacks N same-shape ciphertexts as 2-D residue
+arrays and :class:`BatchEvaluator` runs every homomorphic operation
+batch-wise on the backend's stacked-row kernels, bit-identical to the
+per-ciphertext path.
 """
 
 from repro.ckks.backend import (
@@ -40,6 +47,7 @@ from repro.ckks.backend import (
     set_backend,
     use_backend,
 )
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
 from repro.ckks.context import CkksContext, CkksParameters, SET_A, SET_B, SET_C
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.encryptor import Encryptor
@@ -49,6 +57,8 @@ from repro.ckks.keys import KeyGenerator, PublicKey, SecretKey, RelinKey, Galois
 from repro.ckks.poly import Ciphertext, Plaintext
 
 __all__ = [
+    "BatchEvaluator",
+    "CiphertextBatch",
     "CkksContext",
     "CkksParameters",
     "CkksEncoder",

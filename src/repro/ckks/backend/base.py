@@ -28,6 +28,29 @@ All operations are **exact**: two backends given the same inputs must
 produce identical rows.  The reference backend is the ground truth; the
 equivalence test-suite (``tests/ckks/test_backend_equivalence.py``)
 holds every other backend to it.
+
+Stacked-row kernels
+-------------------
+Ciphertext-level parallelism -- the outermost level of parallelism in
+HEAX's system design (Figure 7: the host streams many independent
+ciphertexts through the shared NTT/MULT/KeySwitch pipelines) -- is
+expressed through the ``*_stack`` variants of every kernel.  A *stack*
+is a sequence of ``R`` rows that share one modulus (and, for NTT, one
+table set); semantically a stacked kernel equals mapping the single-row
+kernel over the stack, and the default implementations do exactly that.
+
+Two representation liberties keep stacks fast without breaking the
+exactness contract:
+
+* a stacked kernel may return any *sequence of rows*, not necessarily a
+  ``list`` of ``list``s -- the numpy backend returns the ``(R, n)``
+  ``uint64`` array itself, so consecutive stacked kernels compose with
+  no per-call boundary conversion (callers lower to canonical lists
+  with :func:`canonical_stack` only when leaving the batch layer);
+* dyadic second operands (``b`` of ``*_stack`` binary ops, ``y`` of
+  ``dyadic_mac_stack``) may be a single row instead of a stack, in
+  which case it broadcasts against every row -- the shape key-switching
+  needs, where one key row multiplies a whole batch.
 """
 
 from __future__ import annotations
@@ -37,6 +60,31 @@ from typing import List, Sequence
 
 from repro.ckks.modarith import Modulus
 from repro.ckks.ntt import NTTTables
+
+#: A stack of residue rows sharing one modulus (see module docstring).
+RowStack = Sequence[Sequence[int]]
+
+
+def is_row(operand) -> bool:
+    """True when ``operand`` is a single residue row rather than a stack.
+
+    Rows hold scalars (no ``__len__``); stacks hold rows (which have
+    one).  An empty sequence counts as an empty *stack*.
+    """
+    return len(operand) > 0 and not hasattr(operand[0], "__len__")
+
+
+def canonical_stack(stack: RowStack) -> List[List[int]]:
+    """Lower any row-stack to the canonical list-of-lists-of-int form."""
+    if hasattr(stack, "tolist"):  # whole-array stacks (numpy backend)
+        return stack.tolist()
+    out = []
+    for row in stack:
+        if hasattr(row, "tolist"):
+            out.append(row.tolist())
+        else:
+            out.append([int(x) for x in row])
+    return out
 
 
 class PolynomialBackend(abc.ABC):
@@ -131,6 +179,110 @@ class PolynomialBackend(abc.ABC):
         the result row for modulus ``p`` holds ``c mod p`` in ``[0, p)``.
         """
         return [self.reduce_mod(m, coeffs) for m in moduli]
+
+    # ------------------------------------------------------------------
+    # stacked-row kernels (ciphertext-level batch parallelism)
+    #
+    # Semantics: map the single-row kernel over R rows sharing one
+    # modulus.  Defaults loop row by row -- exactly the reference
+    # behaviour -- so only backends that can amortize whole-stack work
+    # (numpy) need to override.  Dyadic second operands may be a single
+    # row, broadcast against every row of the stack.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rows_of(operand, count: int):
+        """Normalize a row-or-stack dyadic operand to ``count`` rows.
+
+        A stack operand must match the primary stack's length exactly --
+        silent zip-truncation on one backend and a broadcast error on
+        another would break interchangeability, so the mismatch raises
+        here in the shared default.
+        """
+        if is_row(operand):
+            return [operand] * count
+        if len(operand) != count:
+            raise ValueError(
+                f"stack length mismatch: operand has {len(operand)} rows, "
+                f"expected {count}"
+            )
+        return operand
+
+    def native_stack(self, stack: RowStack) -> RowStack:
+        """Re-represent a stack in this backend's preferred form.
+
+        Idempotent and value-preserving.  Callers that hold a stack for
+        repeated use (e.g. :class:`repro.ckks.batch.CiphertextBatch`)
+        lift it once so per-operation boundary conversion is not paid on
+        every kernel call; the default keeps the stack as-is.
+        """
+        return stack
+
+    def ntt_forward_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        """Forward NTT of every row (one modulus, one table set)."""
+        return [self.ntt_forward(tables, row) for row in stack]
+
+    def ntt_inverse_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        """Inverse NTT of every row (one modulus, one table set)."""
+        return [self.ntt_inverse(tables, row) for row in stack]
+
+    def add_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        """Row-wise ``a + b mod p``; ``b`` may be a stack or one row."""
+        return [self.add(modulus, x, y) for x, y in zip(a, self._rows_of(b, len(a)))]
+
+    def sub_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        """Row-wise ``a - b mod p``; ``b`` may be a stack or one row."""
+        return [self.sub(modulus, x, y) for x, y in zip(a, self._rows_of(b, len(a)))]
+
+    def negate_stack(self, modulus: Modulus, a: RowStack) -> RowStack:
+        """Row-wise ``-a mod p``."""
+        return [self.negate(modulus, x) for x in a]
+
+    def dyadic_mul_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        """Row-wise ``a * b mod p``; ``b`` may be a stack or one row."""
+        return [
+            self.dyadic_mul(modulus, x, y)
+            for x, y in zip(a, self._rows_of(b, len(a)))
+        ]
+
+    def dyadic_mac_stack(self, modulus: Modulus, acc: RowStack, x: RowStack, y) -> RowStack:
+        """Row-wise ``acc + x * y mod p``; ``y`` may be a stack or one row."""
+        return [
+            self.dyadic_mac(modulus, s, a, b)
+            for s, a, b in zip(
+                acc, self._rows_of(x, len(acc)), self._rows_of(y, len(acc))
+            )
+        ]
+
+    def scalar_mul_stack(self, modulus: Modulus, a: RowStack, scalar: int) -> RowStack:
+        """Row-wise ``a * scalar mod p`` with a reduced scalar."""
+        return [self.scalar_mul(modulus, x, scalar) for x in a]
+
+    def reduce_mod_stack(self, modulus: Modulus, stack: RowStack) -> RowStack:
+        """Row-wise reduction into ``[0, p)`` (stacked Algorithm 7 line 6)."""
+        return [self.reduce_mod(modulus, row) for row in stack]
+
+    def apply_galois_stack(
+        self,
+        modulus: Modulus,
+        stack: RowStack,
+        mapping: Sequence[tuple],
+    ) -> RowStack:
+        """Permute every coefficient-form row by a Galois automorphism.
+
+        ``mapping[i] = (dest, flip)`` sends coefficient ``i`` to index
+        ``dest``, negated mod ``p`` when ``flip`` (the sign rule of
+        ``X^i -> X^{ig}`` in ``Z[X]/(X^n+1)``; see
+        :meth:`repro.ckks.context.CkksContext.galois_map`).
+        """
+        p = modulus.value
+        out = []
+        for row in stack:
+            new_row = [0] * len(mapping)
+            for idx, (dest, flip) in enumerate(mapping):
+                v = row[idx]
+                new_row[dest] = (p - v) if (flip and v) else v
+            out.append(new_row)
+        return out
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

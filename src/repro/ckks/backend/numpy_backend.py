@@ -39,7 +39,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.ckks.backend.base import PolynomialBackend
+from repro.ckks.backend.base import PolynomialBackend, RowStack, is_row
 from repro.ckks.backend.reference import ReferenceBackend
 from repro.ckks.modarith import Modulus
 from repro.ckks.ntt import NTTTables
@@ -60,7 +60,9 @@ _CACHE_ATTR = "_numpy_twiddle_cache"
 def _mulmod(a: np.ndarray, b, p: int) -> np.ndarray:
     """Exact ``a * b mod p`` for uint64 operands reduced below ``p``."""
     if p < _DIRECT_MUL_BOUND:
-        return (a * b) % np.uint64(p)
+        prod = a * b
+        prod %= np.uint64(p)
+        return prod
     # Barrett with a float64 quotient estimate: q is off by at most a few
     # units, and a*b - q*p is exact modulo 2^64, so a short correction
     # loop lands in [0, p).
@@ -80,20 +82,143 @@ def _mulmod(a: np.ndarray, b, p: int) -> np.ndarray:
 
 
 def _cond_sub(x: np.ndarray, p: int) -> np.ndarray:
-    """Lazy reduction of values in ``[0, 2p)`` into ``[0, p)``."""
-    return np.where(x >= p, x - np.uint64(p), x)
+    """Lazy reduction of values in ``[0, 2p)`` into ``[0, p)``, in place.
+
+    Uses the uint64 wraparound: for ``x < p``, ``x - p`` wraps above
+    ``2^64 - p``, so ``min(x, x - p)`` selects the reduced value with a
+    single temporary instead of a mask + select.  ``x`` must be a
+    freshly-allocated array the caller owns (every call site passes the
+    result of an arithmetic expression); it is overwritten and returned.
+    """
+    np.minimum(x, x - np.uint64(p), out=x)
+    return x
+
+
+def _submod(a: np.ndarray, b, p: int) -> np.ndarray:
+    """``a - b mod p`` for reduced operands: wrap into ``[0, 2p)``, reduce."""
+    d = a - b
+    d += np.uint64(p)  # now in (0, 2p), wraparound included
+    return _cond_sub(d, p)
+
+
+def _shoup_mul(x: np.ndarray, w, w_shoup, p: int) -> np.ndarray:
+    """Exact ``x * w mod p`` for a constant ``w`` with precomputed quotient.
+
+    Algorithm 2 (MulRed), vectorized with a 32-bit ratio: for
+    ``p < 2^32`` and ``w_shoup = floor(w * 2^32 / p)``, the quotient
+    estimate ``q = (x * w_shoup) >> 32`` satisfies
+    ``x*w - q*p in [0, 2p)`` (the classic Shoup bound for ``x < 2^32``,
+    exact here because every intermediate product stays below ``2^64``
+    for reduced operands under a ``p < 2^32`` modulus), so one
+    conditional subtraction finishes the reduction -- no integer
+    division, every pass SIMD-friendly.
+    """
+    q = x * w_shoup
+    q >>= np.uint64(32)
+    q *= np.uint64(p)
+    r = x * w
+    r -= q
+    return _cond_sub(r, p)
+
+
+def _fwd_stages(a: np.ndarray, tw: "_TwiddleCache", p: int) -> np.ndarray:
+    """All forward butterfly stages on an ``(n, R)`` array (mutates ``a``).
+
+    The batch dimension is *innermost*: a stage views the coefficients as
+    ``(m, 2t, R)``, so every butterfly slice is ``m`` runs of ``t * R``
+    contiguous words.  With batch-outermost layout the late stages
+    (``t = 1, 2, 4``) degenerate into word-sized strided chunks that
+    defeat vectorization; batch-innermost keeps at least ``R`` contiguous
+    words per butterfly -- the same lane-interleaving a multi-lane
+    hardware NTT core uses.  Legs are computed into fresh contiguous
+    temporaries and copied back once per stage.
+    """
+    n, r = a.shape
+    t = n
+    m = 1
+    while m < n:
+        t >>= 1
+        view = a.reshape(m, 2 * t, r)
+        u = view[:, :t, :]
+        v = view[:, t:, :]
+        w = tw.fwd[m : 2 * m].reshape(m, 1, 1)
+        if tw.fwd_shoup is None:
+            wv = _mulmod(v, w, p)
+        else:
+            wv = _shoup_mul(v, w, tw.fwd_shoup[m : 2 * m].reshape(m, 1, 1), p)
+        s = _cond_sub(u + wv, p)
+        d = _submod(u, wv, p)
+        view[:, :t, :] = s
+        view[:, t:, :] = d
+        m <<= 1
+    return a
+
+
+def _inv_stages(a: np.ndarray, tw: "_TwiddleCache", p: int) -> np.ndarray:
+    """All inverse butterfly stages on an ``(n, R)`` array (mutates ``a``).
+
+    Batch-innermost layout, as in :func:`_fwd_stages`.
+
+    The Algorithm-4 per-stage halving ``(s + p if odd) >> 1`` is computed
+    as ``(s >> 1) + odd * (p+1)/2`` -- identical values, but shifts and
+    masks on the contiguous sum-leg temporary instead of a mask + select
+    pass.
+    """
+    n, r = a.shape
+    one = np.uint64(1)
+    half_p = np.uint64((p + 1) >> 1)
+    t = 1
+    m = n
+    while m > 1:
+        h = m >> 1
+        view = a.reshape(h, 2 * t, r)
+        u = view[:, :t, :]
+        v = view[:, t:, :]
+        w = tw.inv[h : 2 * h].reshape(h, 1, 1)
+        s = _cond_sub(u + v, p)
+        odd = s & one
+        s >>= one
+        odd *= half_p
+        s += odd  # s is now the halved sum leg
+        d = _submod(u, v, p)
+        if tw.inv_shoup is None:
+            wd = _mulmod(d, w, p)
+        else:
+            wd = _shoup_mul(d, w, tw.inv_shoup[h : 2 * h].reshape(h, 1, 1), p)
+        view[:, :t, :] = s
+        view[:, t:, :] = wd
+        t <<= 1
+        m = h
+    return a
 
 
 class _TwiddleCache:
-    """uint64 views of one table set's twiddles (built once per tables)."""
+    """uint64 views of one table set's twiddles (built once per tables).
 
-    __slots__ = ("fwd", "inv")
+    For primes in the native-multiply regime the cache also holds the
+    32-bit Shoup ratios ``floor(w * 2^32 / p)`` of every twiddle, so
+    butterfly stages replace the vector remainder (integer division,
+    the one non-SIMD operation in the pipeline) with :func:`_shoup_mul`.
+    """
+
+    __slots__ = ("fwd", "inv", "fwd_shoup", "inv_shoup")
 
     def __init__(self, tables: NTTTables):
         self.fwd = np.array([c.value for c in tables.root_powers], dtype=np.uint64)
         self.inv = np.array(
             [c.value for c in tables.inv_root_powers_div2], dtype=np.uint64
         )
+        p = tables.modulus.value
+        if p < _DIRECT_MUL_BOUND:
+            self.fwd_shoup = np.array(
+                [(int(w) << 32) // p for w in self.fwd], dtype=np.uint64
+            )
+            self.inv_shoup = np.array(
+                [(int(w) << 32) // p for w in self.inv], dtype=np.uint64
+            )
+        else:
+            self.fwd_shoup = None
+            self.inv_shoup = None
 
 
 class NumpyBackend(PolynomialBackend):
@@ -126,6 +251,37 @@ class NumpyBackend(PolynomialBackend):
             return row
         return np.asarray(row, dtype=np.uint64)
 
+    @staticmethod
+    def _stack(stack: RowStack) -> np.ndarray:
+        """Lift a row-stack to an ``(R, n)`` uint64 array (no-op if it is one)."""
+        if isinstance(stack, np.ndarray) and stack.dtype == np.uint64:
+            return stack
+        return np.asarray(stack, dtype=np.uint64)
+
+    @classmethod
+    def _operand(cls, b, count: int) -> np.ndarray:
+        """A dyadic operand: ``(n,)`` broadcast row or ``(count, n)`` stack.
+
+        A stack operand of any other length raises, matching the base
+        class's ``_rows_of`` -- numpy's implicit ``(1, n)`` broadcasting
+        must not accept what the reference backend rejects.
+        """
+        if is_row(b):
+            return cls._row(b)
+        if len(b) != count:
+            raise ValueError(
+                f"stack length mismatch: operand has {len(b)} rows, "
+                f"expected {count}"
+            )
+        return cls._stack(b)
+
+    def native_stack(self, stack: RowStack) -> RowStack:
+        """Lift to ``(R, n)`` uint64 once so later kernels skip conversion."""
+        try:
+            return self._stack(stack)
+        except (OverflowError, ValueError):
+            return stack  # out-of-word rows stay lists for the fallback path
+
     # ------------------------------------------------------------------
     # NTT (Algorithm 3, one vector op sequence per stage)
     # ------------------------------------------------------------------
@@ -135,24 +291,8 @@ class NumpyBackend(PolynomialBackend):
         n = tables.n
         if len(row) != n:
             raise ValueError(f"expected {n} coefficients, got {len(row)}")
-        p = tables.modulus.value
-        w_all = self._twiddles(tables).fwd
-        a = self._row(row).copy()
-        t = n
-        m = 1
-        while m < n:
-            t >>= 1
-            view = a.reshape(m, 2 * t)
-            u = view[:, :t]
-            v = view[:, t:]
-            w = w_all[m : 2 * m].reshape(m, 1)
-            wv = _mulmod(v, w, p)
-            s = _cond_sub(u + wv, p)
-            d = _cond_sub(u + (np.uint64(p) - wv), p)
-            view[:, :t] = s
-            view[:, t:] = d
-            m <<= 1
-        return a.tolist()
+        a = np.array(row, dtype=np.uint64, order="C").reshape(n, 1)
+        return _fwd_stages(a, self._twiddles(tables), tables.modulus.value)[:, 0].tolist()
 
     # ------------------------------------------------------------------
     # INTT (Algorithm 4 with the per-stage halving folded in)
@@ -163,27 +303,8 @@ class NumpyBackend(PolynomialBackend):
         n = tables.n
         if len(row) != n:
             raise ValueError(f"expected {n} coefficients, got {len(row)}")
-        p = tables.modulus.value
-        w_all = self._twiddles(tables).inv
-        a = self._row(row).copy()
-        t = 1
-        m = n
-        while m > 1:
-            h = m >> 1
-            view = a.reshape(h, 2 * t)
-            u = view[:, :t]
-            v = view[:, t:]
-            w = w_all[h : 2 * h].reshape(h, 1)
-            s = _cond_sub(u + v, p)
-            # (s + p if odd) >> 1, the Algorithm-4 per-stage halving
-            half = np.where(s & np.uint64(1), (s + np.uint64(p)) >> np.uint64(1), s >> np.uint64(1))
-            d = _cond_sub(u + (np.uint64(p) - v), p)
-            wd = _mulmod(d, w, p)
-            view[:, :t] = half
-            view[:, t:] = wd
-            t <<= 1
-            m = h
-        return a.tolist()
+        a = np.array(row, dtype=np.uint64, order="C").reshape(n, 1)
+        return _inv_stages(a, self._twiddles(tables), tables.modulus.value)[:, 0].tolist()
 
     # ------------------------------------------------------------------
     # dyadic arithmetic
@@ -196,14 +317,15 @@ class NumpyBackend(PolynomialBackend):
     def sub(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
         if not self.supports(modulus):
             return self._fallback.sub(modulus, a, b)
-        p = modulus.value
-        return _cond_sub(self._row(a) + (np.uint64(p) - self._row(b)), p).tolist()
+        return _submod(self._row(a), self._row(b), modulus.value).tolist()
 
     def negate(self, modulus: Modulus, a: Sequence[int]) -> List[int]:
         if not self.supports(modulus):
             return self._fallback.negate(modulus, a)
         arr = self._row(a)
-        return np.where(arr == 0, arr, np.uint64(modulus.value) - arr).tolist()
+        out = np.uint64(modulus.value) - arr
+        np.minimum(out, np.uint64(0) - arr, out=out)
+        return out.tolist()
 
     def dyadic_mul(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
         if not self.supports(modulus):
@@ -253,3 +375,97 @@ class NumpyBackend(PolynomialBackend):
             # Python big-int reduction is the only exact path
             return self._fallback.reduce_mod(modulus, row)
         return (arr % np.uint64(modulus.value)).tolist()
+
+    # ------------------------------------------------------------------
+    # stacked-row kernels: one whole-array pass over all R rows at once.
+    #
+    # These return the (R, n) uint64 array itself (a valid row-stack per
+    # the base contract), so chains of stacked kernels -- the batched
+    # KeySwitch dataflow -- never round-trip through Python lists.
+    # ------------------------------------------------------------------
+    def ntt_forward_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        if not self.supports(tables.modulus) or not len(stack):
+            return super().ntt_forward_stack(tables, stack)
+        arr = self._stack(stack)
+        if arr.shape[1] != tables.n:
+            raise ValueError(f"expected {tables.n} coefficients, got {arr.shape[1]}")
+        # .copy() (not ascontiguousarray, which can alias when R == 1)
+        # because the stage cores mutate their input
+        a = arr.T.copy()
+        out = _fwd_stages(a, self._twiddles(tables), tables.modulus.value)
+        return np.ascontiguousarray(out.T)
+
+    def ntt_inverse_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        if not self.supports(tables.modulus) or not len(stack):
+            return super().ntt_inverse_stack(tables, stack)
+        arr = self._stack(stack)
+        if arr.shape[1] != tables.n:
+            raise ValueError(f"expected {tables.n} coefficients, got {arr.shape[1]}")
+        a = arr.T.copy()  # owned copy: the stage cores mutate in place
+        out = _inv_stages(a, self._twiddles(tables), tables.modulus.value)
+        return np.ascontiguousarray(out.T)
+
+    def add_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        if not self.supports(modulus) or not len(a):
+            return super().add_stack(modulus, a, b)
+        arr = self._stack(a)
+        return _cond_sub(arr + self._operand(b, len(arr)), modulus.value)
+
+    def sub_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        if not self.supports(modulus) or not len(a):
+            return super().sub_stack(modulus, a, b)
+        arr = self._stack(a)
+        return _submod(arr, self._operand(b, len(arr)), modulus.value)
+
+    def negate_stack(self, modulus: Modulus, a: RowStack) -> RowStack:
+        if not self.supports(modulus) or not len(a):
+            return super().negate_stack(modulus, a)
+        arr = self._stack(a)
+        out = np.uint64(modulus.value) - arr
+        np.minimum(out, np.uint64(0) - arr, out=out)
+        return out
+
+    def dyadic_mul_stack(self, modulus: Modulus, a: RowStack, b) -> RowStack:
+        if not self.supports(modulus) or not len(a):
+            return super().dyadic_mul_stack(modulus, a, b)
+        arr = self._stack(a)
+        return _mulmod(arr, self._operand(b, len(arr)), modulus.value)
+
+    def dyadic_mac_stack(self, modulus: Modulus, acc: RowStack, x: RowStack, y) -> RowStack:
+        if not self.supports(modulus) or not len(acc):
+            return super().dyadic_mac_stack(modulus, acc, x, y)
+        p = modulus.value
+        arr = self._stack(acc)
+        prod = _mulmod(self._operand(x, len(arr)), self._operand(y, len(arr)), p)
+        return _cond_sub(arr + prod, p)
+
+    def scalar_mul_stack(self, modulus: Modulus, a: RowStack, scalar: int) -> RowStack:
+        if not self.supports(modulus) or not len(a):
+            return super().scalar_mul_stack(modulus, a, scalar)
+        return _mulmod(self._stack(a), np.uint64(scalar), modulus.value)
+
+    def reduce_mod_stack(self, modulus: Modulus, stack: RowStack) -> RowStack:
+        if not self.supports(modulus) or not len(stack):
+            return super().reduce_mod_stack(modulus, stack)
+        try:
+            arr = self._stack(stack)
+        except (OverflowError, ValueError):
+            return super().reduce_mod_stack(modulus, stack)
+        return arr % np.uint64(modulus.value)
+
+    def apply_galois_stack(
+        self,
+        modulus: Modulus,
+        stack: RowStack,
+        mapping: Sequence[tuple],
+    ) -> RowStack:
+        if not self.supports(modulus) or not len(stack):
+            return super().apply_galois_stack(modulus, stack, mapping)
+        arr = self._stack(stack)
+        n = len(mapping)
+        dest = np.fromiter((d for d, _ in mapping), dtype=np.intp, count=n)
+        flip = np.fromiter((f for _, f in mapping), dtype=bool, count=n)
+        vals = np.where(flip & (arr != 0), np.uint64(modulus.value) - arr, arr)
+        out = np.empty_like(vals)
+        out[:, dest] = vals
+        return out

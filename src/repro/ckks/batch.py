@@ -1,0 +1,562 @@
+"""Batched ciphertext-level parallelism (Figure 7 / Section 5.2).
+
+HEAX's outermost level of parallelism is across *independent
+ciphertexts*: the host queues many of them and the accelerator streams
+them through the shared NTT/MULT/KeySwitch pipelines.  This module is
+the software realization of that level:
+
+* :class:`CiphertextBatch` -- ``N`` same-shape ciphertexts stored as
+  per-(component, modulus) **row stacks**: for component ``j`` and RNS
+  modulus ``i``, ``stacks[j][i]`` holds the ``N`` residue rows of every
+  batch element, i.e. an ``(N, n)`` two-dimensional residue array.
+* :class:`BatchEvaluator` -- batched ``add / sub / multiply /
+  relinearize / rescale / rotate / encrypt / decrypt`` implemented
+  against the stacked-row kernels of the polynomial backend
+  (:mod:`repro.ckks.backend`).  On the numpy backend one whole-array
+  NTT covers the entire batch, amortizing every per-call and per-stage
+  overhead across the ``N`` ciphertexts -- the software analogue of
+  keeping the hardware pipeline full.
+
+Semantically a batched operation is *exactly* ``N`` independent
+single-ciphertext operations: ``BatchEvaluator`` results are
+bit-identical to running :class:`repro.ckks.evaluator.Evaluator` per
+element, on every backend (the differential harness in
+``tests/ckks/differential.py`` asserts this).
+
+Batches are homogeneous by construction: every element must share ring
+degree, component count, RNS basis (level), NTT form and scale --
+mixed-level or ragged inputs are rejected at :meth:`CiphertextBatch.join`
+time, mirroring the fixed lane shape a hardware pipeline imposes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ckks.backend.base import RowStack, canonical_stack
+from repro.ckks.context import CkksContext
+from repro.ckks.evaluator import SCALE_RTOL, check_scales, rows_for
+from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
+from repro.ckks.modarith import Modulus
+from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
+
+
+class CiphertextBatch:
+    """``N`` same-shape ciphertexts stacked as 2-D residue arrays.
+
+    ``stacks[j][i]`` is the row-stack (``N`` rows of length ``n``) of
+    polynomial component ``j`` under RNS modulus ``i``.  Stacks may be
+    in a backend-native representation (the numpy backend keeps them as
+    ``(N, n)`` uint64 arrays between operations); :meth:`split` lowers
+    everything back to canonical :class:`Ciphertext` objects.
+    """
+
+    __slots__ = ("n", "count", "moduli", "scale", "is_ntt", "stacks")
+
+    def __init__(
+        self,
+        n: int,
+        count: int,
+        moduli: Sequence[Modulus],
+        stacks: List[List[RowStack]],
+        scale: float,
+        is_ntt: bool = True,
+    ):
+        if count < 1:
+            raise ValueError("a ciphertext batch needs at least one element")
+        if not stacks:
+            raise ValueError("a ciphertext batch needs at least one component")
+        self.n = n
+        self.count = count
+        self.moduli = list(moduli)
+        self.stacks = stacks
+        self.scale = scale
+        self.is_ntt = is_ntt
+
+    # ------------------------------------------------------------------
+    # construction / deconstruction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ciphertexts(cls, ciphertexts: Sequence[Ciphertext]) -> "CiphertextBatch":
+        """Stack ``N`` ciphertexts; rejects ragged or mixed-level inputs."""
+        cts = list(ciphertexts)
+        if not cts:
+            raise ValueError("cannot batch zero ciphertexts")
+        first = cts[0]
+        basis = [m.value for m in first.moduli]
+        for idx, ct in enumerate(cts[1:], start=1):
+            if ct.n != first.n:
+                raise ValueError(
+                    f"ragged batch: element {idx} has ring degree {ct.n}, "
+                    f"element 0 has {first.n}"
+                )
+            if ct.size != first.size:
+                raise ValueError(
+                    f"ragged batch: element {idx} has size {ct.size}, "
+                    f"element 0 has {first.size}"
+                )
+            if [m.value for m in ct.moduli] != basis:
+                raise ValueError(
+                    f"mixed-level batch: element {idx} carries a different "
+                    "RNS basis; rescale/mod-switch all elements to a common "
+                    "level first"
+                )
+            if ct.is_ntt != first.is_ntt:
+                raise ValueError("batch elements must share NTT form")
+            if abs(ct.scale - first.scale) > SCALE_RTOL * max(ct.scale, first.scale):
+                raise ValueError(
+                    f"batch elements must share scale: {ct.scale:g} vs {first.scale:g}"
+                )
+        stacks = [
+            [
+                [ct.polys[j].residues[i] for ct in cts]
+                for i in range(len(first.moduli))
+            ]
+            for j in range(first.size)
+        ]
+        return cls(first.n, len(cts), first.moduli, stacks, first.scale, first.is_ntt)
+
+    #: ``join`` is the symmetric partner of :meth:`split`.
+    join = from_ciphertexts
+
+    def split(self) -> List[Ciphertext]:
+        """Unstack into ``N`` canonical :class:`Ciphertext` objects."""
+        rows = [[canonical_stack(stack) for stack in comp] for comp in self.stacks]
+        out = []
+        for b in range(self.count):
+            polys = [
+                RnsPolynomial(
+                    self.n,
+                    self.moduli,
+                    [rows[j][i][b] for i in range(len(self.moduli))],
+                    self.is_ntt,
+                )
+                for j in range(self.size)
+            ]
+            out.append(Ciphertext(polys, self.scale))
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Polynomial component count (2 fresh, 3 un-relinearized)."""
+        return len(self.stacks)
+
+    @property
+    def level_count(self) -> int:
+        return len(self.moduli)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"CiphertextBatch(count={self.count}, size={self.size}, "
+            f"n={self.n}, k={self.level_count}, scale={self.scale:g})"
+        )
+
+
+class BatchEvaluator:
+    """Batched homomorphic operations over :class:`CiphertextBatch`.
+
+    Every method is the batch-wise counterpart of the corresponding
+    :class:`repro.ckks.evaluator.Evaluator` method, with identical
+    scale/level discipline and bit-identical per-element results; the
+    inner loops run on the backend's stacked-row kernels so the numpy
+    backend executes one whole-array pass per (component, modulus)
+    instead of ``N``.
+    """
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+
+    def _lift(self, batch: CiphertextBatch) -> CiphertextBatch:
+        """Re-represent a batch's stacks in the backend's native form.
+
+        Idempotent and value-preserving (rewrites ``batch.stacks`` in
+        place), so a batch that arrives as Python lists -- fresh from
+        :meth:`CiphertextBatch.join` or a deserializer -- pays the
+        boundary conversion once, not on every kernel call.
+        """
+        be = self.context.backend
+        batch.stacks = [
+            [be.native_stack(stack) for stack in comp] for comp in batch.stacks
+        ]
+        return batch
+
+    # ------------------------------------------------------------------
+    # compatibility checks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_pair(b0: CiphertextBatch, b1) -> None:
+        """The full compatibility discipline of the scalar path.
+
+        Mirrors ``RnsPolynomial._check_compatible``: ring degree, RNS
+        basis *values* (not just level count) and NTT form must all
+        match, so a mismatched operand raises exactly where the
+        per-ciphertext evaluator would instead of producing garbage.
+        """
+        if isinstance(b1, CiphertextBatch):
+            if b0.count != b1.count:
+                raise ValueError(
+                    f"batch size mismatch: {b0.count} vs {b1.count}"
+                )
+            other_moduli, other_ntt = b1.moduli, b1.is_ntt
+        else:  # a Plaintext operand
+            other_moduli, other_ntt = b1.poly.moduli, b1.poly.is_ntt
+        if b0.n != b1.n:
+            raise ValueError("ring degree mismatch")
+        if b0.level_count != b1.level_count:
+            raise ValueError(
+                f"level mismatch: {b0.level_count} vs {b1.level_count}"
+            )
+        if [m.value for m in b0.moduli] != [m.value for m in other_moduli]:
+            raise ValueError("RNS basis mismatch")
+        if b0.is_ntt != other_ntt:
+            raise ValueError("NTT-form mismatch (transform before combining)")
+
+    # ------------------------------------------------------------------
+    # addition family
+    # ------------------------------------------------------------------
+    def add(self, b0: CiphertextBatch, b1: CiphertextBatch) -> CiphertextBatch:
+        """Batched CKKS.Add (sizes may differ, as in the scalar path)."""
+        check_scales(b0.scale, b1.scale)
+        self._check_pair(b0, b1)
+        be = self.context.backend
+        self._lift(b0)
+        self._lift(b1)
+        big, small = (b0, b1) if b0.size >= b1.size else (b1, b0)
+        stacks = [
+            [
+                be.add_stack(m, big.stacks[j][i], small.stacks[j][i])
+                if j < small.size
+                else big.stacks[j][i]
+                for i, m in enumerate(big.moduli)
+            ]
+            for j in range(big.size)
+        ]
+        return CiphertextBatch(b0.n, b0.count, b0.moduli, stacks, b0.scale, b0.is_ntt)
+
+    def sub(self, b0: CiphertextBatch, b1: CiphertextBatch) -> CiphertextBatch:
+        check_scales(b0.scale, b1.scale)
+        self._check_pair(b0, b1)
+        be = self.context.backend
+        self._lift(b0)
+        self._lift(b1)
+        size = max(b0.size, b1.size)
+        stacks = []
+        for j in range(size):
+            if j < b0.size and j < b1.size:
+                comp = [
+                    be.sub_stack(m, b0.stacks[j][i], b1.stacks[j][i])
+                    for i, m in enumerate(b0.moduli)
+                ]
+            elif j < b0.size:
+                comp = list(b0.stacks[j])
+            else:
+                comp = [
+                    be.negate_stack(m, b1.stacks[j][i])
+                    for i, m in enumerate(b0.moduli)
+                ]
+            stacks.append(comp)
+        return CiphertextBatch(b0.n, b0.count, b0.moduli, stacks, b0.scale, b0.is_ntt)
+
+    def negate(self, batch: CiphertextBatch) -> CiphertextBatch:
+        be = self.context.backend
+        self._lift(batch)
+        stacks = [
+            [be.negate_stack(m, comp[i]) for i, m in enumerate(batch.moduli)]
+            for comp in batch.stacks
+        ]
+        return CiphertextBatch(
+            batch.n, batch.count, batch.moduli, stacks, batch.scale, batch.is_ntt
+        )
+
+    def add_plain(self, batch: CiphertextBatch, pt: Plaintext) -> CiphertextBatch:
+        """Add one (NTT-form, level-matched) plaintext to every element."""
+        check_scales(batch.scale, pt.scale)
+        self._check_pair(batch, pt)
+        be = self.context.backend
+        self._lift(batch)
+        stacks = [list(comp) for comp in batch.stacks]
+        stacks[0] = [
+            be.add_stack(m, batch.stacks[0][i], pt.poly.residues[i])
+            for i, m in enumerate(batch.moduli)
+        ]
+        return CiphertextBatch(
+            batch.n, batch.count, batch.moduli, stacks, batch.scale, batch.is_ntt
+        )
+
+    # ------------------------------------------------------------------
+    # multiplication family (Algorithm 5, batched)
+    # ------------------------------------------------------------------
+    def multiply(self, b0: CiphertextBatch, b1: CiphertextBatch) -> CiphertextBatch:
+        """Batched Algorithm 5: element-wise (α, β) -> α+β-1 product."""
+        self._check_pair(b0, b1)
+        be = self.context.backend
+        self._lift(b0)
+        self._lift(b1)
+        alpha, beta = b0.size, b1.size
+        out: List[List[RowStack]] = [None] * (alpha + beta - 1)
+        for a in range(alpha):
+            for b in range(beta):
+                if out[a + b] is None:
+                    out[a + b] = [
+                        be.dyadic_mul_stack(m, b0.stacks[a][i], b1.stacks[b][i])
+                        for i, m in enumerate(b0.moduli)
+                    ]
+                else:
+                    out[a + b] = [
+                        be.dyadic_mac_stack(
+                            m, out[a + b][i], b0.stacks[a][i], b1.stacks[b][i]
+                        )
+                        for i, m in enumerate(b0.moduli)
+                    ]
+        return CiphertextBatch(
+            b0.n, b0.count, b0.moduli, out, b0.scale * b1.scale, b0.is_ntt
+        )
+
+    def multiply_plain(self, batch: CiphertextBatch, pt: Plaintext) -> CiphertextBatch:
+        """Multiply every element by one plaintext (MULT module C-P mode)."""
+        self._check_pair(batch, pt)
+        be = self.context.backend
+        self._lift(batch)
+        stacks = [
+            [
+                be.dyadic_mul_stack(m, comp[i], pt.poly.residues[i])
+                for i, m in enumerate(batch.moduli)
+            ]
+            for comp in batch.stacks
+        ]
+        return CiphertextBatch(
+            batch.n,
+            batch.count,
+            batch.moduli,
+            stacks,
+            batch.scale * pt.scale,
+            batch.is_ntt,
+        )
+
+    # ------------------------------------------------------------------
+    # rescaling (Algorithm 6, batched)
+    # ------------------------------------------------------------------
+    def _floor_divide_last_stack(
+        self, comp: List[RowStack], moduli: Sequence[Modulus]
+    ) -> List[RowStack]:
+        """Batched RNS flooring of one component: drop the last prime."""
+        ctx = self.context
+        be = ctx.backend
+        last_mod = moduli[-1]
+        a = be.ntt_inverse_stack(ctx.tables(last_mod), comp[-1])
+        out = []
+        for i, m in enumerate(moduli[:-1]):
+            p = m.value
+            inv_last = pow(last_mod.value % p, -1, p)
+            r_ntt = be.ntt_forward_stack(ctx.tables(m), be.reduce_mod_stack(m, a))
+            diff = be.sub_stack(m, comp[i], r_ntt)
+            out.append(be.scalar_mul_stack(m, diff, inv_last))
+        return out
+
+    def rescale(self, batch: CiphertextBatch) -> CiphertextBatch:
+        """Batched CKKS.Rescale: floor-divide every element by the last prime."""
+        if not batch.is_ntt:
+            raise ValueError("flooring operates on NTT-form polynomials")
+        if batch.level_count < 2:
+            raise ValueError("cannot rescale at the last level")
+        self._lift(batch)
+        last = batch.moduli[-1].value
+        stacks = [
+            self._floor_divide_last_stack(comp, batch.moduli)
+            for comp in batch.stacks
+        ]
+        return CiphertextBatch(
+            batch.n,
+            batch.count,
+            batch.moduli[:-1],
+            stacks,
+            batch.scale / last,
+            batch.is_ntt,
+        )
+
+    # ------------------------------------------------------------------
+    # key switching (Algorithm 7, batched)
+    # ------------------------------------------------------------------
+    def keyswitch_stack(
+        self,
+        target: List[RowStack],
+        moduli: Sequence[Modulus],
+        ksk: KswitchKey,
+    ) -> Tuple[List[RowStack], List[RowStack]]:
+        """Batched Algorithm 7 core over a stack of NTT-form polynomials.
+
+        ``target[i]`` is the row-stack of the switched polynomial under
+        data modulus ``i``.  The structure is the scalar dataflow with
+        every row replaced by a stack; the key rows broadcast across the
+        batch, which is exactly how the hardware shares one key between
+        the pipelined ciphertexts.
+        """
+        ctx = self.context
+        be = ctx.backend
+        data_moduli = list(moduli)
+        ext_moduli = data_moduli + [ctx.special_modulus]
+        # the first digit's contribution initializes the accumulators (a
+        # multiply, not a MAC against zero stacks)
+        acc0: List[Optional[RowStack]] = [None] * len(ext_moduli)
+        acc1: List[Optional[RowStack]] = [None] * len(ext_moduli)
+        for i, p_i in enumerate(data_moduli):
+            a = be.ntt_inverse_stack(ctx.tables(p_i), target[i])
+            d0, d1 = ksk.digit(i)
+            d0_rows = rows_for(d0, ext_moduli)
+            d1_rows = rows_for(d1, ext_moduli)
+            for j, m_j in enumerate(ext_moduli):
+                if m_j.value == p_i.value:
+                    b_ntt = target[i]  # already in NTT form
+                else:
+                    b_ntt = be.ntt_forward_stack(
+                        ctx.tables(m_j), be.reduce_mod_stack(m_j, a)
+                    )
+                if acc0[j] is None:
+                    acc0[j] = be.dyadic_mul_stack(m_j, b_ntt, d0_rows[j])
+                    acc1[j] = be.dyadic_mul_stack(m_j, b_ntt, d1_rows[j])
+                else:
+                    acc0[j] = be.dyadic_mac_stack(m_j, acc0[j], b_ntt, d0_rows[j])
+                    acc1[j] = be.dyadic_mac_stack(m_j, acc1[j], b_ntt, d1_rows[j])
+        return (
+            self._floor_divide_last_stack(acc0, ext_moduli),
+            self._floor_divide_last_stack(acc1, ext_moduli),
+        )
+
+    def relinearize(self, batch: CiphertextBatch, relin_key: RelinKey) -> CiphertextBatch:
+        """Batched CKKS.Relin: size-3 -> size-2 for every element at once."""
+        if batch.size != 3:
+            raise ValueError(
+                f"relinearize expects size-3 ciphertexts, got size {batch.size}"
+            )
+        be = self.context.backend
+        self._lift(batch)
+        f0, f1 = self.keyswitch_stack(batch.stacks[2], batch.moduli, relin_key)
+        stacks = [
+            [
+                be.add_stack(m, batch.stacks[0][i], f0[i])
+                for i, m in enumerate(batch.moduli)
+            ],
+            [
+                be.add_stack(m, batch.stacks[1][i], f1[i])
+                for i, m in enumerate(batch.moduli)
+            ],
+        ]
+        return CiphertextBatch(
+            batch.n, batch.count, batch.moduli, stacks, batch.scale, batch.is_ntt
+        )
+
+    def multiply_relin(
+        self, b0: CiphertextBatch, b1: CiphertextBatch, relin_key: RelinKey
+    ) -> CiphertextBatch:
+        """Fused batched MULT + Relin (the composite operation of Table 8)."""
+        return self.relinearize(self.multiply(b0, b1), relin_key)
+
+    # ------------------------------------------------------------------
+    # rotation / conjugation (batched)
+    # ------------------------------------------------------------------
+    def _apply_galois_stacks(
+        self, batch: CiphertextBatch, galois_elt: int
+    ) -> List[List[RowStack]]:
+        """Permute every row of every stack by the automorphism map."""
+        ctx = self.context
+        be = ctx.backend
+        self._lift(batch)
+        mapping = ctx.galois_map(galois_elt)
+        out = []
+        for comp in batch.stacks:
+            comp_out = []
+            for i, m in enumerate(batch.moduli):
+                coeff = be.ntt_inverse_stack(ctx.tables(m), comp[i])
+                permuted = be.apply_galois_stack(m, coeff, mapping)
+                comp_out.append(be.ntt_forward_stack(ctx.tables(m), permuted))
+            out.append(comp_out)
+        return out
+
+    def apply_galois(
+        self, batch: CiphertextBatch, galois_elt: int, key: GaloisKey
+    ) -> CiphertextBatch:
+        """Batched automorphism + key switch back to ``s`` (size-2 only)."""
+        if batch.size != 2:
+            raise ValueError("relinearize before applying Galois automorphisms")
+        if key.galois_elt != galois_elt:
+            raise ValueError("Galois key does not match the requested element")
+        be = self.context.backend
+        rotated = self._apply_galois_stacks(batch, galois_elt)
+        f0, f1 = self.keyswitch_stack(rotated[1], batch.moduli, key)
+        stacks = [
+            [
+                be.add_stack(m, rotated[0][i], f0[i])
+                for i, m in enumerate(batch.moduli)
+            ],
+            f1,
+        ]
+        return CiphertextBatch(
+            batch.n, batch.count, batch.moduli, stacks, batch.scale, batch.is_ntt
+        )
+
+    def rotate(
+        self, batch: CiphertextBatch, step: int, galois_keys: GaloisKeySet
+    ) -> CiphertextBatch:
+        """Cyclically rotate every element's message slots left by ``step``."""
+        elt = self.context.galois_element_for_step(step)
+        return self.apply_galois(batch, elt, galois_keys.key_for_element(elt))
+
+    def conjugate(self, batch: CiphertextBatch, galois_keys: GaloisKeySet) -> CiphertextBatch:
+        """Complex-conjugate every slot of every element."""
+        elt = self.context.conjugation_element
+        return self.apply_galois(batch, elt, galois_keys.key_for_element(elt))
+
+    # ------------------------------------------------------------------
+    # batched encryption / decryption
+    # ------------------------------------------------------------------
+    def encrypt(self, encryptor, plaintexts: Sequence[Plaintext]) -> CiphertextBatch:
+        """Encrypt ``N`` plaintexts into one batch.
+
+        Encryption randomness is inherently per-ciphertext (the sampler
+        is sequential), so elements are encrypted one by one -- in order,
+        so that a fixed encryptor seed yields the same ciphertexts as the
+        unbatched path -- and then stacked.
+        """
+        return CiphertextBatch.from_ciphertexts(
+            [encryptor.encrypt(pt) for pt in plaintexts]
+        )
+
+    def decrypt(self, decryptor, batch: CiphertextBatch) -> List[Plaintext]:
+        """Batched ``<ct, (1, s, s^2, ...)>``: one stacked MAC per power.
+
+        The secret-key rows broadcast across the batch exactly like key
+        rows do in :meth:`keyswitch_stack`.
+        """
+        if not batch.is_ntt:
+            raise ValueError("ciphertexts are kept in NTT form")
+        be = self.context.backend
+        self._lift(batch)
+        s = decryptor.secret_key.restricted(batch.moduli)
+        acc = list(batch.stacks[0])
+        s_power: RnsPolynomial = None
+        for comp in batch.stacks[1:]:
+            s_power = (
+                s if s_power is None
+                else s_power.dyadic_multiply(s, backend=be)
+            )
+            acc = [
+                be.dyadic_mac_stack(m, acc[i], comp[i], s_power.residues[i])
+                for i, m in enumerate(batch.moduli)
+            ]
+        rows = [canonical_stack(stack) for stack in acc]
+        return [
+            Plaintext(
+                RnsPolynomial(
+                    batch.n,
+                    batch.moduli,
+                    [rows[i][b] for i in range(len(batch.moduli))],
+                    is_ntt=True,
+                ),
+                batch.scale,
+            )
+            for b in range(batch.count)
+        ]

@@ -260,6 +260,16 @@ class CkksContext:
         self._galois_cache[galois_elt] = mapping
         return mapping
 
+    def galois_map(self, galois_elt: int) -> List[Tuple[int, bool]]:
+        """The coefficient permutation for ``g``, as ``(dest, flip)`` pairs.
+
+        Used by the batch evaluator to permute whole row-stacks without
+        materializing per-ciphertext :class:`RnsPolynomial` objects.
+        Returns a fresh list so callers cannot corrupt the internal
+        cache the scalar rotation path shares.
+        """
+        return list(self._galois_map(galois_elt))
+
     def apply_galois(self, poly: RnsPolynomial, galois_elt: int) -> RnsPolynomial:
         """Apply ``m(X) -> m(X^g)`` to a coefficient-form polynomial."""
         if poly.is_ntt:

@@ -30,6 +30,24 @@ from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
 SCALE_RTOL = 1e-9
 
 
+def check_scales(a: float, b: float) -> None:
+    """Require two operand scales to match within :data:`SCALE_RTOL`."""
+    if abs(a - b) > SCALE_RTOL * max(a, b):
+        raise ValueError(
+            f"scale mismatch: {a:g} vs {b:g}; rescale/encode to align"
+        )
+
+
+def rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
+    """Select the residue rows of a full-basis key poly for these moduli."""
+    index = {m.value: i for i, m in enumerate(poly.moduli)}
+    return [poly.residues[index[m.value]] for m in moduli]
+
+
+#: Backward-compatible private alias (pre-batch-layer name).
+_rows_for = rows_for
+
+
 class Evaluator:
     """Implements every homomorphic operation of Section 3."""
 
@@ -39,12 +57,7 @@ class Evaluator:
     # ------------------------------------------------------------------
     # scale/level discipline
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_scales(a: float, b: float) -> None:
-        if abs(a - b) > SCALE_RTOL * max(a, b):
-            raise ValueError(
-                f"scale mismatch: {a:g} vs {b:g}; rescale/encode to align"
-            )
+    _check_scales = staticmethod(check_scales)
 
     @staticmethod
     def _check_levels(a: Ciphertext, b) -> None:
@@ -288,8 +301,3 @@ class Evaluator:
         elt = self.context.conjugation_element
         return self.apply_galois(ct, elt, galois_keys.key_for_element(elt))
 
-
-def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
-    """Select the residue rows of a full-basis key poly for these moduli."""
-    index = {m.value: i for i, m in enumerate(poly.moduli)}
-    return [poly.residues[index[m.value]] for m in moduli]

@@ -36,6 +36,31 @@ class ScheduledOp:
     output_bytes: int
     compute_seconds: float
 
+    @classmethod
+    def for_batch(
+        cls,
+        kind: str,
+        n: int,
+        input_polys: int,
+        output_polys: int,
+        compute_seconds: float,
+    ) -> "ScheduledOp":
+        """A batched operation moving whole residue polynomials.
+
+        ``input_polys``/``output_polys`` count residue polynomials across
+        the whole batch (batch size x ciphertext size x RNS level), so
+        the transfer model sees exactly the PCIe traffic a batch incurs;
+        ``compute_seconds`` is typically *measured* from a real
+        :class:`repro.ckks.batch.BatchEvaluator` execution (see
+        :class:`repro.system.workload.BatchWorkloadRunner`).
+        """
+        return cls(
+            kind,
+            input_polys * polynomial_bytes(n),
+            output_polys * polynomial_bytes(n),
+            compute_seconds,
+        )
+
 
 @dataclass
 class ScheduleReport:
@@ -109,6 +134,17 @@ class HostScheduler:
             writer_stalls=stalls,
             ops=len(ops),
         )
+
+    def run_executed(self, execution) -> ScheduleReport:
+        """Simulate a *measured* batch execution through the pipeline.
+
+        ``execution`` is any object with a ``scheduled_ops()`` method
+        returning the measured :class:`ScheduledOp` stream -- in practice
+        a :class:`repro.system.workload.BatchExecutionReport`.  This is
+        the bridge that lets the discrete-event model consume real
+        compute times from the batch evaluator instead of analytic ones.
+        """
+        return self.run(execution.scheduled_ops())
 
     def batch_polynomials(self, n: int, count: int) -> List[int]:
         """Split ``count`` polynomials into PCIe messages of >= one poly.

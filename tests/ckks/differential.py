@@ -1,0 +1,328 @@
+"""Reusable cross-backend differential harness.
+
+Drives *seeded random operation sequences* (add / sub / multiply+relin /
+rescale / rotate / conjugate / plain ops) through every combination of
+
+* backend: ``reference`` vs ``numpy``, and
+* execution mode: per-ciphertext :class:`~repro.ckks.evaluator.Evaluator`
+  vs batched :class:`~repro.ckks.batch.BatchEvaluator`,
+
+and asserts two properties:
+
+1. **bit-identity** -- all four traces produce identical ciphertext
+   residue rows after *every* step (the backends are interchangeable by
+   contract, and a batched op is exactly N independent scalar ops);
+2. **correctness** -- the final decode matches a plaintext model of the
+   same program within CKKS precision.
+
+Randomness discipline: both execution modes consume the encryption
+sampler in the *same order* (step-major: within a step, operand
+ciphertexts for elements 0..N-1 are encrypted in order), so a fixed
+seed yields byte-identical ciphertexts whichever mode runs -- making
+batched-vs-unbatched divergence a hard failure instead of a statistical
+argument.
+
+Programs are feasibility-aware: an op is only emitted when the tracked
+(size, level) state can execute it, and every ciphertext-ciphertext
+multiply is immediately relinearized and, when a level remains,
+rescaled -- the standard CKKS idiom, which also keeps the plaintext
+model's precision honest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ckks.batch import BatchEvaluator
+from repro.ckks.backend import use_backend
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.decryptor import Decryptor
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+
+#: Ops a program may contain; weights bias toward the cheap ones so a
+#: short program still exercises variety without exhausting levels.
+_OP_WEIGHTS = (
+    ("add", 3),
+    ("sub", 2),
+    ("mul_relin", 2),
+    ("mul_plain", 2),
+    ("rotate", 2),
+    ("conjugate", 1),
+    ("negate", 1),
+    ("rescale", 1),
+)
+
+#: Rotation step used by ``rotate`` ops (its Galois key is generated).
+ROTATE_STEP = 1
+
+
+def generate_program(
+    seed: int,
+    length: int = 6,
+    k: int = 3,
+    scale_bits: int = 28,
+    prime_bits: int = 30,
+) -> List[str]:
+    """A feasibility-checked random op sequence for a depth-``k`` chain.
+
+    Tracks the (level, scale) budget the way a CKKS compiler would: an
+    op is only emitted when the resulting scale still fits under the
+    remaining modulus with headroom (no wrap-around) and stays above a
+    precision floor (so the final decode remains meaningful).
+    """
+    rng = random.Random(seed)
+    ops = [op for op, w in _OP_WEIGHTS for _ in range(w)]
+    program: List[str] = []
+    level = k
+    s = float(scale_bits)
+    headroom = 12  # bits between the scaled message and q_level
+    floor = 22  # precision floor for the final decode
+    while len(program) < length:
+        op = rng.choice(ops)
+        if op == "mul_relin":
+            # operand is encoded at the default scale; the pair
+            # multiplies then rescales, costing one level
+            if level < 2 or s + scale_bits + headroom > prime_bits * level:
+                continue
+            if s + scale_bits - prime_bits < floor:
+                continue
+            program += ["mul_relin", "rescale"]
+            s += scale_bits - prime_bits
+            level -= 1
+        elif op == "rescale":
+            if level < 2 or s - prime_bits < floor:
+                continue
+            program.append("rescale")
+            s -= prime_bits
+            level -= 1
+        elif op == "mul_plain":
+            if s + scale_bits + headroom > prime_bits * level:
+                continue
+            program.append("mul_plain")
+            s += scale_bits
+        else:
+            program.append(op)
+    return program[:length]
+
+
+def _operand_values(rng: random.Random, slots: int) -> List[complex]:
+    """Bounded random slot values (|v| <= 1 keeps noise growth tame)."""
+    return [
+        complex(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(slots)
+    ]
+
+
+class _ModelState:
+    """Plaintext-side mirror of the homomorphic program."""
+
+    def __init__(self, values: np.ndarray):
+        self.values = values.copy()
+
+    def apply(self, op: str, operand: Optional[np.ndarray]) -> None:
+        if op == "add":
+            self.values = self.values + operand
+        elif op == "sub":
+            self.values = self.values - operand
+        elif op in ("mul_relin", "mul_plain"):
+            self.values = self.values * operand
+        elif op == "rotate":
+            self.values = np.roll(self.values, -ROTATE_STEP)
+        elif op == "conjugate":
+            self.values = np.conj(self.values)
+        elif op == "negate":
+            self.values = -self.values
+        elif op == "rescale":
+            pass  # scale bookkeeping only; slot values are unchanged
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+
+def run_program(
+    program: List[str],
+    backend_name: str,
+    batched: bool,
+    *,
+    n: int = 64,
+    k: int = 3,
+    batch_count: int = 3,
+    base_seed: int = 1000,
+) -> Dict:
+    """Execute a program in one (backend, mode) combination.
+
+    Returns per-step canonical residue rows for every batch element,
+    the final decoded slot vectors, and the plaintext-model expectation.
+    """
+    value_rng = random.Random(base_seed)  # same value stream in every run
+    with use_backend(backend_name):
+        ctx = CkksContext(toy_parameters(n=n, k=k, prime_bits=30))
+        keygen = KeyGenerator(ctx, seed=base_seed + 1)
+        encryptor = Encryptor(ctx, keygen.public_key(), seed=base_seed + 2)
+        encoder = CkksEncoder(ctx)
+        decryptor = Decryptor(ctx, keygen.secret_key)
+        relin_key = keygen.relin_key()
+        galois_keys = keygen.galois_keys([ROTATE_STEP], conjugation=True)
+        slots = ctx.params.slot_count
+
+        init_values = [
+            np.array(_operand_values(value_rng, slots)) for _ in range(batch_count)
+        ]
+        models = [_ModelState(v) for v in init_values]
+        init_pts = [encoder.encode(list(v)) for v in init_values]
+
+        steps: List[List] = []
+        if batched:
+            bev = BatchEvaluator(ctx)
+            state = bev.encrypt(encryptor, init_pts)
+        else:
+            ev = Evaluator(ctx)
+            state = [encryptor.encrypt(pt) for pt in init_pts]
+
+        def snapshot():
+            cts = state.split() if batched else state
+            steps.append([[p.residues for p in ct.polys] for ct in cts])
+
+        snapshot()
+        for op in program:
+            scale = state.scale if batched else state[0].scale
+            level = state.level_count if batched else state[0].level_count
+            operand_vals = None
+            if op in ("add", "sub", "mul_relin"):
+                # one fresh encrypted operand per element, step-major so
+                # both modes consume the sampler identically
+                operand_vals = [
+                    np.array(_operand_values(value_rng, slots))
+                    for _ in range(batch_count)
+                ]
+                enc_scale = scale if op in ("add", "sub") else None
+                operand_cts = [
+                    encryptor.encrypt(
+                        encoder.encode(
+                            list(v), scale=enc_scale, level_count=level
+                        )
+                    )
+                    for v in operand_vals
+                ]
+            elif op == "mul_plain":
+                operand_vals = [
+                    np.array(_operand_values(value_rng, slots))
+                ] * batch_count
+                shared_pt = encoder.encode(
+                    list(operand_vals[0]), level_count=level
+                )
+
+            if batched:
+                if op == "add":
+                    state = bev.add(state, _join(operand_cts))
+                elif op == "sub":
+                    state = bev.sub(state, _join(operand_cts))
+                elif op == "mul_relin":
+                    state = bev.relinearize(
+                        bev.multiply(state, _join(operand_cts)), relin_key
+                    )
+                elif op == "mul_plain":
+                    state = bev.multiply_plain(state, shared_pt)
+                elif op == "rotate":
+                    state = bev.rotate(state, ROTATE_STEP, galois_keys)
+                elif op == "conjugate":
+                    state = bev.conjugate(state, galois_keys)
+                elif op == "negate":
+                    state = bev.negate(state)
+                elif op == "rescale":
+                    state = bev.rescale(state)
+            else:
+                if op == "add":
+                    state = [ev.add(c, o) for c, o in zip(state, operand_cts)]
+                elif op == "sub":
+                    state = [ev.sub(c, o) for c, o in zip(state, operand_cts)]
+                elif op == "mul_relin":
+                    state = [
+                        ev.relinearize(ev.multiply(c, o), relin_key)
+                        for c, o in zip(state, operand_cts)
+                    ]
+                elif op == "mul_plain":
+                    state = [ev.multiply_plain(c, shared_pt) for c in state]
+                elif op == "rotate":
+                    state = [
+                        ev.rotate(c, ROTATE_STEP, galois_keys) for c in state
+                    ]
+                elif op == "conjugate":
+                    state = [ev.conjugate(c, galois_keys) for c in state]
+                elif op == "negate":
+                    state = [ev.negate(c) for c in state]
+                elif op == "rescale":
+                    state = [ev.rescale(c) for c in state]
+
+            for b, model in enumerate(models):
+                model.apply(op, operand_vals[b] if operand_vals else None)
+            snapshot()
+
+        if batched:
+            plains = bev.decrypt(decryptor, state)
+        else:
+            plains = [decryptor.decrypt(c) for c in state]
+        decoded = [encoder.decode(pt) for pt in plains]
+        return {
+            "steps": steps,
+            "decoded": decoded,
+            "expected": [m.values for m in models],
+        }
+
+
+def _join(cts):
+    from repro.ckks.batch import CiphertextBatch
+
+    return CiphertextBatch.from_ciphertexts(cts)
+
+
+def assert_differential(
+    program: List[str],
+    *,
+    n: int = 64,
+    k: int = 3,
+    batch_count: int = 3,
+    base_seed: int = 1000,
+    atol: float = 0.05,
+) -> None:
+    """Run all four (backend, mode) combinations and assert the contract."""
+    runs = {
+        (backend, mode): run_program(
+            program,
+            backend,
+            mode == "batched",
+            n=n,
+            k=k,
+            batch_count=batch_count,
+            base_seed=base_seed,
+        )
+        for backend in ("reference", "numpy")
+        for mode in ("scalar", "batched")
+    }
+    baseline_key = ("reference", "scalar")
+    baseline = runs[baseline_key]
+    for key, result in runs.items():
+        if key == baseline_key:
+            continue
+        for step, (got, want) in enumerate(
+            zip(result["steps"], baseline["steps"])
+        ):
+            assert got == want, (
+                f"{key} diverged from {baseline_key} at step {step} "
+                f"(op {'init' if step == 0 else program[step - 1]!r}) "
+                f"of program {program}"
+            )
+    for b, (got, want) in enumerate(
+        zip(baseline["decoded"], baseline["expected"])
+    ):
+        np.testing.assert_allclose(
+            got,
+            want,
+            atol=atol,
+            err_msg=f"decode of batch element {b} drifted beyond CKKS "
+            f"precision for program {program}",
+        )

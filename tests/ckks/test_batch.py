@@ -1,0 +1,258 @@
+"""CiphertextBatch / BatchEvaluator: container semantics and edge cases.
+
+The numeric batched-vs-scalar equivalence lives in the differential
+harness (``test_differential.py``); this module pins down the batch
+*container* contract: homogeneity validation (ragged / mixed-level /
+empty inputs raise cleanly), split/join round-trips, the degenerate
+batch of one, and the evaluator's shape discipline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.decryptor import Decryptor
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.poly import Ciphertext
+
+
+@pytest.fixture(scope="module")
+def env():
+    ctx = CkksContext(toy_parameters(n=64, k=3, prime_bits=30))
+    keygen = KeyGenerator(ctx, seed=31)
+    return {
+        "ctx": ctx,
+        "keygen": keygen,
+        "encryptor": Encryptor(ctx, keygen.public_key(), seed=32),
+        "encoder": CkksEncoder(ctx),
+        "evaluator": Evaluator(ctx),
+        "batch_evaluator": BatchEvaluator(ctx),
+        "decryptor": Decryptor(ctx, keygen.secret_key),
+    }
+
+
+def fresh_cts(env, count, value=1.5):
+    enc = env["encoder"]
+    return [
+        env["encryptor"].encrypt(enc.encode(value + b)) for b in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# join/split and homogeneity validation
+# ---------------------------------------------------------------------------
+class TestContainer:
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="zero ciphertexts"):
+            CiphertextBatch.from_ciphertexts([])
+
+    def test_join_split_round_trip(self, env):
+        cts = fresh_cts(env, 4)
+        batch = CiphertextBatch.join(cts)
+        assert len(batch) == 4
+        assert batch.size == 2
+        assert batch.level_count == 3
+        out = batch.split()
+        for a, b in zip(cts, out):
+            assert [p.residues for p in a.polys] == [p.residues for p in b.polys]
+            assert a.scale == b.scale
+            assert b.is_ntt
+
+    def test_split_join_round_trip_after_ops(self, env):
+        """join(split(batch)) preserves rows even when stacks are
+        backend-native arrays (post-operation state)."""
+        bev = env["batch_evaluator"]
+        batch = bev.add(
+            CiphertextBatch.join(fresh_cts(env, 3)),
+            CiphertextBatch.join(fresh_cts(env, 3)),
+        )
+        rejoined = CiphertextBatch.join(batch.split())
+        assert [
+            [p.residues for p in ct.polys] for ct in rejoined.split()
+        ] == [[p.residues for p in ct.polys] for ct in batch.split()]
+
+    def test_batch_of_one(self, env):
+        cts = fresh_cts(env, 1)
+        batch = CiphertextBatch.join(cts)
+        assert len(batch) == 1
+        out = batch.split()
+        assert [p.residues for p in out[0].polys] == [
+            p.residues for p in cts[0].polys
+        ]
+
+    def test_ragged_sizes_raise(self, env):
+        ct2, other = fresh_cts(env, 2)
+        ct3 = env["evaluator"].multiply(ct2, other)  # size 3
+        with pytest.raises(ValueError, match="ragged batch.*size"):
+            CiphertextBatch.join([ct2, ct3])
+
+    def test_mixed_level_raises(self, env):
+        ct, other = fresh_cts(env, 2)
+        ev = env["evaluator"]
+        dropped = ev.rescale(
+            ev.relinearize(ev.multiply(ct, other), env["keygen"].relin_key())
+        )  # size 2 again, but one level fewer
+        dropped.scale = ct.scale  # isolate the basis check from the scale one
+        fresh = fresh_cts(env, 1)[0]
+        with pytest.raises(ValueError, match="mixed-level"):
+            CiphertextBatch.join([fresh, dropped])
+
+    def test_ragged_ring_degree_raises(self, env):
+        small_ctx = CkksContext(toy_parameters(n=32, k=3, prime_bits=30))
+        small_ct = Encryptor(
+            small_ctx, KeyGenerator(small_ctx, seed=41).public_key(), seed=42
+        ).encrypt(CkksEncoder(small_ctx).encode(1.0))
+        with pytest.raises(ValueError, match="ring degree"):
+            CiphertextBatch.join([fresh_cts(env, 1)[0], small_ct])
+
+    def test_mismatched_scale_raises(self, env):
+        a = fresh_cts(env, 1)[0]
+        b = fresh_cts(env, 1)[0]
+        b.scale = a.scale * 2
+        with pytest.raises(ValueError, match="share scale"):
+            CiphertextBatch.join([a, b])
+
+    def test_mixed_ntt_form_raises(self, env):
+        a, b = fresh_cts(env, 2)
+        coeff = Ciphertext(
+            [env["ctx"].from_ntt(p) for p in b.polys], b.scale
+        )
+        with pytest.raises(ValueError, match="NTT form"):
+            CiphertextBatch.join([a, coeff])
+
+
+# ---------------------------------------------------------------------------
+# evaluator shape discipline
+# ---------------------------------------------------------------------------
+class TestEvaluatorDiscipline:
+    def test_batch_count_mismatch_raises(self, env):
+        bev = env["batch_evaluator"]
+        with pytest.raises(ValueError, match="batch size mismatch"):
+            bev.add(
+                CiphertextBatch.join(fresh_cts(env, 2)),
+                CiphertextBatch.join(fresh_cts(env, 3)),
+            )
+
+    def test_level_mismatch_raises(self, env):
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        dropped = bev.rescale(bev.multiply(batch, batch))
+        dropped.scale = batch.scale  # isolate the level check from the scale one
+        with pytest.raises(ValueError, match="level mismatch"):
+            bev.add(CiphertextBatch.join(fresh_cts(env, 2)), dropped)
+
+    def test_basis_value_mismatch_raises(self, env):
+        """Same level count but different primes must raise, as the
+        scalar RnsPolynomial._check_compatible does."""
+        other_ctx = CkksContext(toy_parameters(n=64, k=3, prime_bits=29))
+        other_ct = Encryptor(
+            other_ctx, KeyGenerator(other_ctx, seed=51).public_key(), seed=52
+        ).encrypt(CkksEncoder(other_ctx).encode(1.0, scale=2.0**28))
+        other = CiphertextBatch.join([other_ct, other_ct.clone()])
+        other.scale = env["ctx"].params.scale  # isolate the basis check
+        with pytest.raises(ValueError, match="basis mismatch"):
+            env["batch_evaluator"].add(
+                CiphertextBatch.join(fresh_cts(env, 2)), other
+            )
+
+    def test_plaintext_ntt_form_mismatch_raises(self, env):
+        coeff_pt = env["encoder"].encode(1.0, to_ntt=False)
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        coeff_pt.scale = batch.scale
+        with pytest.raises(ValueError, match="NTT-form mismatch"):
+            env["batch_evaluator"].add_plain(batch, coeff_pt)
+
+    def test_relinearize_requires_size_three(self, env):
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        with pytest.raises(ValueError, match="size-3"):
+            bev.relinearize(batch, env["keygen"].relin_key())
+
+    def test_rotate_requires_size_two(self, env):
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        prod = bev.multiply(batch, batch)
+        with pytest.raises(ValueError, match="relinearize"):
+            bev.rotate(prod, 1, env["keygen"].galois_keys([1]))
+
+    def test_rescale_at_last_level_raises(self, env):
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        for _ in range(env["ctx"].k - 1):
+            batch = bev.rescale(batch)
+        with pytest.raises(ValueError, match="last level"):
+            bev.rescale(batch)
+
+    def test_multiply_produces_size_three(self, env):
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        prod = bev.multiply(batch, batch)
+        assert prod.size == 3
+        assert prod.scale == batch.scale * batch.scale
+
+    def test_add_mixed_sizes(self, env):
+        """Size-3 + size-2 keeps the extra component, as in Evaluator."""
+        bev = env["batch_evaluator"]
+        batch = CiphertextBatch.join(fresh_cts(env, 2))
+        prod = bev.multiply(batch, batch)
+        prod.scale = batch.scale  # align for the addition-scale check
+        out = bev.add(prod, batch)
+        assert out.size == 3
+
+    def test_batched_decrypt_matches_scalar(self, env):
+        bev = env["batch_evaluator"]
+        cts = fresh_cts(env, 3)
+        batch = CiphertextBatch.join(cts)
+        batched = bev.decrypt(env["decryptor"], batch)
+        scalar = [env["decryptor"].decrypt(ct) for ct in cts]
+        assert [p.poly.residues for p in batched] == [
+            p.poly.residues for p in scalar
+        ]
+
+    def test_batched_encrypt_matches_scalar_order(self, env):
+        """encrypt() consumes the sampler element-by-element in order."""
+        enc = env["encoder"]
+        pts = [enc.encode(float(b)) for b in range(3)]
+        pk = env["keygen"].public_key()
+        e1 = Encryptor(env["ctx"], pk, seed=71)
+        e2 = Encryptor(env["ctx"], pk, seed=71)
+        batch = env["batch_evaluator"].encrypt(e1, pts)
+        scalar = [e2.encrypt(pt) for pt in pts]
+        assert [
+            [p.residues for p in ct.polys] for ct in batch.split()
+        ] == [[p.residues for p in ct.polys] for ct in scalar]
+
+
+class TestStackedKernelContract:
+    """Shared backend contract details surfaced by the batch layer."""
+
+    def test_stack_length_mismatch_raises_on_every_backend(self, env):
+        from repro.ckks.backend import available_backends, create_backend
+
+        m = env["ctx"].data_basis.moduli[0]
+        a = [[1] * 64 for _ in range(3)]
+        b = [[2] * 64 for _ in range(2)]
+        one = [[3] * 64]  # a 1-row *stack* must not silently broadcast
+        for name in available_backends():
+            be = create_backend(name)
+            with pytest.raises(ValueError):
+                be.add_stack(m, a, b)
+            with pytest.raises(ValueError):
+                be.add_stack(m, a, one)
+            with pytest.raises(ValueError):
+                be.dyadic_mul_stack(m, a, one)
+            with pytest.raises(ValueError):
+                be.dyadic_mac_stack(m, a, b, [5] * 64)
+
+    def test_galois_map_is_mutation_safe(self, env):
+        """The public accessor must hand out a copy, not the cache."""
+        ctx = env["ctx"]
+        elt = ctx.galois_element_for_step(1)
+        m = ctx.galois_map(elt)
+        m[0] = (m[0][0], not m[0][1])
+        assert ctx.galois_map(elt)[0] != m[0]

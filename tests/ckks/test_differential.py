@@ -1,0 +1,46 @@
+"""Randomized cross-backend differential tests (see ``differential.py``).
+
+Each case drives one seeded random op program through reference/numpy ×
+scalar/batched execution and asserts bit-identical ciphertexts at every
+step plus a plaintext-model decode check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.backend import available_backends
+
+# tests/ are not a package; pytest puts this directory on sys.path
+from differential import assert_differential, generate_program
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="differential tests compare the numpy backend against reference",
+)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_random_program_all_modes_bit_identical(seed):
+    program = generate_program(seed, length=6)
+    assert_differential(program, base_seed=1000 + seed)
+
+
+def test_longer_program_deeper_chain():
+    """Depth-4 chain: room for two multiply/rescale pairs in one program."""
+    program = generate_program(99, length=9, k=4)
+    assert_differential(program, k=4, base_seed=77)
+
+
+def test_single_element_batch_matches_scalar_path():
+    """batch_count=1: the degenerate batch must still be bit-exact."""
+    program = generate_program(5, length=5)
+    assert_differential(program, batch_count=1, base_seed=55)
+
+
+def test_program_generator_is_deterministic_and_feasible():
+    assert generate_program(7, length=8) == generate_program(7, length=8)
+    program = generate_program(7, length=8, k=3)
+    assert len(program) == 8
+    # a generated program never rescales more often than the chain depth
+    assert program.count("rescale") <= 2

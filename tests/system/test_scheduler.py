@@ -120,3 +120,24 @@ class TestMemoryMap:
         mm = MemoryMap(1 << 30)
         mm.store("ct", 1 << 20)
         assert mm.saved_pcie_bytes("ct", reuses=3) == 6 * (1 << 20)
+
+
+class TestBatchScheduledOps:
+    def test_for_batch_byte_accounting(self):
+        op = ScheduledOp.for_batch(
+            "keyswitch", 8192, input_polys=40, output_polys=16,
+            compute_seconds=1e-3,
+        )
+        assert op.kind == "keyswitch"
+        assert op.input_bytes == 40 * polynomial_bytes(8192)
+        assert op.output_bytes == 16 * polynomial_bytes(8192)
+        assert op.compute_seconds == 1e-3
+
+    def test_run_executed_bridges_measured_streams(self, scheduler):
+        class FakeExecution:
+            def scheduled_ops(self):
+                return [keyswitch_op() for _ in range(10)]
+
+        report = scheduler.run_executed(FakeExecution())
+        assert report.ops == 10
+        assert report.compute_utilization > 0

@@ -98,3 +98,107 @@ class TestProjection:
         row = proj.report_row(WorkloadGenerator.dot_product(8))
         assert len(row) == 6
         assert row[0] == "dot-8"
+
+
+class TestOpSequence:
+    def test_round_robin_interleaving(self):
+        w = Workload("w", {"keyswitch": 2, "cc_mult": 1, "add": 3})
+        seq = w.op_sequence()
+        assert len(seq) == w.total_ops
+        assert seq[:3] == ["keyswitch", "cc_mult", "add"]
+        # every count is fully emitted
+        for p in PRIMITIVES:
+            assert seq.count(p) == w.counts[p]
+
+    def test_empty_workload(self):
+        assert Workload("empty").op_sequence() == []
+
+
+class TestBatchExecution:
+    """The runner really executes workloads via BatchEvaluator."""
+
+    @pytest.fixture(scope="class")
+    def context(self):
+        from repro.ckks.context import CkksContext, toy_parameters
+
+        return CkksContext(toy_parameters(n=64, k=3, prime_bits=30))
+
+    def test_executes_every_primitive(self, context):
+        from repro.system.workload import BatchWorkloadRunner
+
+        w = WorkloadGenerator.logistic_inference(8, 3)
+        runner = BatchWorkloadRunner(context, batch_size=2, seed=5)
+        report = runner.execute(w)
+        assert report.op_count == w.total_ops
+        assert report.batch_size == 2
+        assert report.compute_seconds > 0
+        assert report.ciphertext_ops_per_second > 0
+        executed = [e.primitive for e in report.executed]
+        for p in PRIMITIVES:
+            assert executed.count(p) == w.counts[p]
+
+    def test_scheduled_ops_carry_measured_times(self, context):
+        from repro.system.workload import BatchWorkloadRunner
+
+        w = WorkloadGenerator.dot_product(4)
+        runner = BatchWorkloadRunner(context, batch_size=3, seed=6)
+        report = runner.execute(w)
+        ops = report.scheduled_ops()
+        assert len(ops) == w.total_ops
+        assert all(op.compute_seconds > 0 for op in ops)
+        assert all(op.input_bytes > 0 for op in ops)
+        # keyswitch ops must be tagged for quadruple buffering
+        kinds = {e.primitive: e.scheduled.kind for e in report.executed}
+        assert kinds["keyswitch"] == "keyswitch"
+        assert kinds["rescale"] == "ntt"
+
+    def test_host_scheduler_consumes_execution(self, context):
+        from repro.system.pcie import PcieModel, polynomial_bytes
+        from repro.system.scheduler import HostScheduler
+        from repro.system.workload import BatchWorkloadRunner
+
+        w = WorkloadGenerator.polynomial_activation(2)
+        runner = BatchWorkloadRunner(context, batch_size=2, seed=7)
+        report = runner.execute(w)
+        scheduler = HostScheduler(
+            PcieModel(peak_bytes_per_sec=15.75e9),
+            message_bytes=polynomial_bytes(64),
+        )
+        sched_report = scheduler.run_executed(report)
+        assert sched_report.ops == report.op_count
+        assert sched_report.total_seconds >= report.compute_seconds
+
+    def test_cross_backend_execution_bit_identical(self):
+        """The executed stream ends in the same ciphertexts on every
+        backend -- the system layer inherits the backend contract."""
+        from repro.ckks.backend import available_backends, use_backend
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.system.workload import BatchWorkloadRunner
+
+        if "numpy" not in available_backends():
+            pytest.skip("numpy backend unavailable")
+        w = WorkloadGenerator.logistic_inference(4, 2)
+
+        def run(backend):
+            with use_backend(backend):
+                ctx = CkksContext(toy_parameters(n=64, k=3, prime_bits=30))
+                runner = BatchWorkloadRunner(ctx, batch_size=2, seed=11)
+                runner.execute(w)
+                return runner.decrypted_rows()
+
+        assert run("numpy") == run("reference")
+
+    def test_batch_size_must_be_positive(self, context):
+        from repro.system.workload import BatchWorkloadRunner
+
+        with pytest.raises(ValueError):
+            BatchWorkloadRunner(context, batch_size=0)
+
+    def test_rescale_on_single_level_chain_rejected_up_front(self):
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.system.workload import BatchWorkloadRunner
+
+        ctx = CkksContext(toy_parameters(n=64, k=1, prime_bits=30))
+        runner = BatchWorkloadRunner(ctx, batch_size=2, seed=13)
+        with pytest.raises(ValueError, match="single-level"):
+            runner.execute(Workload("w", {"rescale": 1, "add": 1}))

@@ -1,0 +1,149 @@
+"""Regenerate the golden test vectors under ``tests/vectors/``.
+
+Two fixture families are frozen here:
+
+* ``ntt_n64.json`` -- full known-answer rows for the negacyclic
+  NTT/INTT at ``n = 64`` in both numpy prime regimes (30-bit native
+  multiply, 50-bit float-assisted Barrett), plus a dyadic product row.
+* ``trace_n1024.json`` -- SHA-256 digests of every stage of one
+  deterministic encrypt -> multiply -> relinearize -> rescale -> decrypt
+  trace at ``n = 1024`` (Set-A-shaped, ``k = 2``), with the head of the
+  decoded slot vector stored verbatim.
+
+The point of freezing (rather than comparing against the reference
+backend at test time) is that a regression that hits *both* backends --
+a twiddle-table change, an encoder tweak, a sampler reordering -- is
+still caught, and the known-answer tests keep working on hosts where
+only one backend is importable.
+
+Regenerate (only when an intentional change invalidates the vectors)::
+
+    PYTHONPATH=src python tests/vectors/regenerate.py
+
+Vectors are always produced by the **reference** backend -- the ground
+truth -- regardless of the environment's backend selection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import random
+
+VECTORS_DIR = pathlib.Path(__file__).resolve().parent
+
+NTT_N = 64
+NTT_PRIME_BITS = (30, 50)
+
+TRACE_PARAMS = dict(n=1024, k=2, prime_bits=30, scale=2.0**28)
+TRACE_KEYGEN_SEED = 2024
+TRACE_ENCRYPTOR_SEED = 2025
+TRACE_DECODE_ATOL = 1e-3
+TRACE_HEAD_SLOTS = 8
+
+
+def rows_digest(rows) -> str:
+    """Canonical SHA-256 of a nested list-of-ints structure."""
+    blob = json.dumps(rows, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def compute_ntt_vectors() -> dict:
+    """Known-answer NTT/INTT/dyadic rows, computed on the active backend."""
+    from repro.ckks.backend import get_backend
+    from repro.ckks.ntt import NTTTables
+    from repro.ckks.primes import make_modulus_chain
+
+    be = get_backend()
+    out = {"n": NTT_N, "cases": []}
+    for bits in NTT_PRIME_BITS:
+        modulus = make_modulus_chain(NTT_N, [bits], 54)[0]
+        tables = NTTTables(NTT_N, modulus)
+        rng = random.Random(bits)
+        row = [rng.randrange(modulus.value) for _ in range(NTT_N)]
+        other = [rng.randrange(modulus.value) for _ in range(NTT_N)]
+        forward = be.ntt_forward(tables, row)
+        out["cases"].append(
+            {
+                "prime_bits": bits,
+                "modulus": modulus.value,
+                "input": row,
+                "forward": forward,
+                "inverse_of_forward": be.ntt_inverse(tables, forward),
+                "dyadic_other": other,
+                "dyadic_product": be.dyadic_mul(modulus, row, other),
+            }
+        )
+    return out
+
+
+def trace_values(slot_count: int):
+    """The deterministic slot vector encrypted by the golden trace."""
+    return [
+        complex((i % 7) / 7.0, (i % 11) / 11.0 - 0.5) for i in range(slot_count)
+    ]
+
+
+def compute_trace() -> dict:
+    """One full pipeline at n = 1024, digested stage by stage."""
+    from repro.ckks.context import CkksContext, toy_parameters
+    from repro.ckks.decryptor import Decryptor
+    from repro.ckks.encoder import CkksEncoder
+    from repro.ckks.encryptor import Encryptor
+    from repro.ckks.evaluator import Evaluator
+    from repro.ckks.keys import KeyGenerator
+
+    ctx = CkksContext(toy_parameters(**TRACE_PARAMS))
+    keygen = KeyGenerator(ctx, seed=TRACE_KEYGEN_SEED)
+    encryptor = Encryptor(ctx, keygen.public_key(), seed=TRACE_ENCRYPTOR_SEED)
+    encoder = CkksEncoder(ctx)
+    evaluator = Evaluator(ctx)
+    decryptor = Decryptor(ctx, keygen.secret_key)
+
+    pt = encoder.encode(trace_values(ctx.params.slot_count))
+    ct = encryptor.encrypt(pt)
+    prod = evaluator.multiply(ct, ct)
+    relin = evaluator.relinearize(prod, keygen.relin_key())
+    rescaled = evaluator.rescale(relin)
+    plain = decryptor.decrypt(rescaled)
+    decoded = encoder.decode(plain)
+
+    def ct_rows(c):
+        return [p.residues for p in c.polys]
+
+    return {
+        "params": dict(TRACE_PARAMS),
+        "keygen_seed": TRACE_KEYGEN_SEED,
+        "encryptor_seed": TRACE_ENCRYPTOR_SEED,
+        "digests": {
+            "plaintext": rows_digest(pt.poly.residues),
+            "ciphertext": rows_digest(ct_rows(ct)),
+            "product": rows_digest(ct_rows(prod)),
+            "relinearized": rows_digest(ct_rows(relin)),
+            "rescaled": rows_digest(ct_rows(rescaled)),
+            "decrypted": rows_digest(plain.poly.residues),
+        },
+        "decoded_head": [
+            [v.real, v.imag] for v in decoded[:TRACE_HEAD_SLOTS]
+        ],
+        "decode_atol": TRACE_DECODE_ATOL,
+    }
+
+
+def main() -> None:
+    from repro.ckks.backend import use_backend
+
+    with use_backend("reference"):
+        ntt = compute_ntt_vectors()
+        trace = compute_trace()
+    (VECTORS_DIR / "ntt_n64.json").write_text(json.dumps(ntt, indent=1) + "\n")
+    (VECTORS_DIR / "trace_n1024.json").write_text(
+        json.dumps(trace, indent=1) + "\n"
+    )
+    print(f"wrote {VECTORS_DIR / 'ntt_n64.json'}")
+    print(f"wrote {VECTORS_DIR / 'trace_n1024.json'}")
+
+
+if __name__ == "__main__":
+    main()
