@@ -6,6 +6,7 @@
 #   make bench          every paper table/figure benchmark (writes benchmarks/results/)
 #   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
 #   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
+#   make bench-serving  serving-layer gate (dynamic batching vs sequential service)
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
@@ -13,7 +14,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch vectors
+.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +34,9 @@ bench-backend:
 
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_batch_throughput.py -q -s
+
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py -q -s
 
 vectors:
 	$(PYTHON) tests/vectors/regenerate.py

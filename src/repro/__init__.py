@@ -10,10 +10,14 @@ Subpackages
     NTT/INTT, MULT and KeySwitch modules, resource and performance models.
 ``repro.system``
     Board, PCIe, DRAM, host-scheduler and CPU-baseline models.
+``repro.serving``
+    Multi-client encrypted-compute serving: wire framing, per-client
+    sessions, and homogeneity-aware dynamic batching over the batch
+    evaluator.
 ``repro.analysis``
     Paper table data and report rendering for the benchmark harness.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["ckks", "core", "system", "analysis"]
+__all__ = ["ckks", "core", "system", "serving", "analysis"]

@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ckks.backend.base import RowStack, canonical_stack
 from repro.ckks.context import CkksContext
-from repro.ckks.evaluator import SCALE_RTOL, check_scales, rows_for
+from repro.ckks.evaluator import check_scales, rows_for
 from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
 from repro.ckks.modarith import Modulus
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
@@ -83,6 +83,10 @@ class CiphertextBatch:
         if not cts:
             raise ValueError("cannot batch zero ciphertexts")
         first = cts[0]
+        if not first.scale > 0:
+            raise ValueError(
+                f"non-positive ciphertext scale {first.scale:g}"
+            )
         basis = [m.value for m in first.moduli]
         for idx, ct in enumerate(cts[1:], start=1):
             if ct.n != first.n:
@@ -103,10 +107,14 @@ class CiphertextBatch:
                 )
             if ct.is_ntt != first.is_ntt:
                 raise ValueError("batch elements must share NTT form")
-            if abs(ct.scale - first.scale) > SCALE_RTOL * max(ct.scale, first.scale):
+            try:
+                # the shared helper also rejects non-positive scales, which
+                # would otherwise degenerate the relative-tolerance test
+                check_scales(ct.scale, first.scale)
+            except ValueError:
                 raise ValueError(
                     f"batch elements must share scale: {ct.scale:g} vs {first.scale:g}"
-                )
+                ) from None
         stacks = [
             [
                 [ct.polys[j].residues[i] for ct in cts]

@@ -31,7 +31,18 @@ SCALE_RTOL = 1e-9
 
 
 def check_scales(a: float, b: float) -> None:
-    """Require two operand scales to match within :data:`SCALE_RTOL`."""
+    """Require two positive operand scales to match within :data:`SCALE_RTOL`.
+
+    Non-positive (or NaN) scales are rejected up front: with
+    ``max(a, b) <= 0`` the relative-tolerance bound is non-positive, so
+    the mismatch test below would degenerate and accept *any* pair --
+    e.g. a zero scale against ``2^40``.  A valid CKKS scale is always
+    ``> 1``, so nothing legitimate is lost.
+    """
+    if not (a > 0 and b > 0):  # also catches NaN, which fails every compare
+        raise ValueError(
+            f"non-positive scale: {a:g} vs {b:g}; ciphertext metadata is corrupt"
+        )
     if abs(a - b) > SCALE_RTOL * max(a, b):
         raise ValueError(
             f"scale mismatch: {a:g} vs {b:g}; rescale/encode to align"

@@ -16,12 +16,18 @@ bandwidth arithmetic assumes.
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import List, Tuple
 
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import KswitchKey
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
+
+try:  # optional fast path: one array pass per residue row instead of
+    import numpy as _np  # n Python int conversions (the serving layer
+except ImportError:  # (de)serializes every request, so this is hot)
+    _np = None
 
 MAGIC = b"HEAX"
 VERSION = 1
@@ -49,10 +55,23 @@ def ciphertext_wire_bytes(n: int, size: int, level_count: int) -> int:
 
 def _pack_residues(poly: RnsPolynomial, out: List[bytes]) -> None:
     for row in poly.residues:
-        out.append(b"".join(v.to_bytes(WORD_BYTES, "little") for v in row))
+        if _np is not None:
+            out.append(_np.asarray(row, dtype=_np.uint64).astype("<u8").tobytes())
+        else:
+            out.append(b"".join(v.to_bytes(WORD_BYTES, "little") for v in row))
 
 
 def _unpack_residues(data: memoryview, offset: int, n: int, count: int):
+    """Read ``count`` residue rows of ``n`` words each.
+
+    Callers are responsible for having validated the total payload
+    length first (see :func:`_check_payload`): slicing a short buffer
+    would otherwise yield short rows whose missing words decode as 0.
+    """
+    end = offset + count * n * WORD_BYTES
+    if _np is not None:
+        flat = _np.frombuffer(data[offset:end], dtype="<u8")
+        return [r.tolist() for r in flat.reshape(count, n)], end
     rows = []
     for _ in range(count):
         row = [
@@ -86,6 +105,10 @@ def serialize_plaintext(pt: Plaintext) -> bytes:
 
 
 def _parse_header(data: bytes) -> Tuple[int, int, int, int, bool, float]:
+    if len(data) < _HEADER.size:
+        raise ValueError(
+            f"truncated header: {len(data)} bytes, need {_HEADER.size}"
+        )
     magic, version, kind, n, comps, rns_flags, scale = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise ValueError("not a HEAX-serialized object")
@@ -93,7 +116,44 @@ def _parse_header(data: bytes) -> Tuple[int, int, int, int, bool, float]:
         raise ValueError(f"unsupported version {version}")
     is_ntt = bool(rns_flags & 0x8000)
     rns = rns_flags & 0x7FFF
+    if n < 1 or comps < 1 or rns < 1:
+        raise ValueError(
+            f"malformed header: n={n}, components={comps}, rns={rns}"
+        )
     return kind, n, comps, rns, is_ntt, scale
+
+
+def _check_payload(data: bytes, n: int, rows: int) -> None:
+    """Require the byte count to match the header's shape *exactly*.
+
+    A short buffer must raise, not deserialize: without this check a
+    truncated residue row decodes word by word via
+    ``int.from_bytes(b"", "little") == 0`` into silent zeros.  Trailing
+    bytes are rejected too -- a frame that claims to be one object must
+    be exactly that object.
+    """
+    expected = _HEADER.size + rows * n * WORD_BYTES
+    if len(data) < expected:
+        raise ValueError(
+            f"truncated payload: {len(data)} bytes, expected {expected}"
+        )
+    if len(data) > expected:
+        raise ValueError(
+            f"trailing bytes after payload: {len(data)} bytes, "
+            f"expected {expected}"
+        )
+
+
+def _check_scale(scale: float) -> None:
+    """A wire ciphertext/plaintext must carry a positive, finite scale.
+
+    (Key-switching keys carry no scale; their header writes 0.)  A
+    zero/NaN/Inf scale is corrupt metadata that would otherwise slip
+    past operations that never compare scales (negate, rescale) and be
+    served back silently.
+    """
+    if not (scale > 0) or math.isinf(scale):
+        raise ValueError(f"non-positive or non-finite scale {scale!r}")
 
 
 def deserialize_ciphertext(data: bytes, context: CkksContext) -> Ciphertext:
@@ -102,6 +162,8 @@ def deserialize_ciphertext(data: bytes, context: CkksContext) -> Ciphertext:
         raise ValueError("serialized object is not a ciphertext")
     if n != context.n:
         raise ValueError(f"ring mismatch: {n} vs context {context.n}")
+    _check_scale(scale)
+    _check_payload(data, n, comps * rns)
     moduli = context.basis_at_level(rns).moduli
     view = memoryview(data)
     offset = _HEADER.size
@@ -116,6 +178,12 @@ def deserialize_plaintext(data: bytes, context: CkksContext) -> Plaintext:
     kind, n, comps, rns, is_ntt, scale = _parse_header(data)
     if kind != _KIND_PLAINTEXT:
         raise ValueError("serialized object is not a plaintext")
+    if n != context.n:
+        raise ValueError(f"ring mismatch: {n} vs context {context.n}")
+    if comps != 1:
+        raise ValueError(f"plaintext must have one component, got {comps}")
+    _check_scale(scale)
+    _check_payload(data, n, rns)
     moduli = context.basis_at_level(rns).moduli
     rows, _ = _unpack_residues(memoryview(data), _HEADER.size, n, rns)
     return Plaintext(RnsPolynomial(n, moduli, rows, is_ntt), scale)
@@ -139,9 +207,12 @@ def deserialize_kswitch_key(data: bytes, context: CkksContext) -> KswitchKey:
     kind, n, digits, rns, _, _ = _parse_header(data)
     if kind != _KIND_KSWITCH_KEY:
         raise ValueError("serialized object is not a key-switching key")
+    if n != context.n:
+        raise ValueError(f"ring mismatch: {n} vs context {context.n}")
     moduli = list(context.key_basis.moduli)
     if rns != len(moduli):
         raise ValueError("key basis size mismatch")
+    _check_payload(data, n, digits * 2 * rns)
     view = memoryview(data)
     offset = _HEADER.size
     out = []

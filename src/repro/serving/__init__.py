@@ -1,0 +1,82 @@
+"""Multi-client encrypted-compute serving (the Section 5.2 deployment).
+
+The paper's system chapter describes an accelerator fed by *streams of
+independent client ciphertexts*, amortizing its pipelines across
+ciphertext-level parallelism.  ``repro.serving`` is the host-side layer
+that makes such streams executable batch-wise:
+
+* :mod:`repro.serving.framing` -- length-prefixed wire protocol over
+  :mod:`repro.ckks.serialization` (streamable, strictly validated);
+* :mod:`repro.serving.session` -- per-client sessions with cached
+  relinearization/Galois keys (the DRAM-resident operands of §5.1);
+* :mod:`repro.serving.queue` -- bounded admission queue, backpressure
+  as ERROR responses instead of unbounded buffering;
+* :mod:`repro.serving.batcher` -- homogeneity-aware dynamic batcher:
+  lanes keyed by (op, op_arg, key_id, n, size, level, scale, NTT form),
+  flushed on max-batch-size or deadline;
+* :mod:`repro.serving.server` -- :class:`EncryptedComputeServer`, which
+  executes flushes through :class:`repro.ckks.batch.BatchEvaluator`
+  (scalar fallback for singletons) and records every flush as a
+  measured :class:`repro.system.scheduler.ScheduledOp` for the Figure-7
+  host-pipeline simulation;
+* :mod:`repro.serving.traffic` -- deterministic synthetic multi-client
+  traffic for tests and benchmarks.
+
+``benchmarks/bench_serving_throughput.py`` gates the point of the
+layer: dynamically batched serving must deliver >= 2x the per-request
+throughput of sequential scalar service, bit-identically.
+"""
+
+from repro.serving.batcher import (
+    BatchGroup,
+    DynamicBatcher,
+    OP_KEY_KIND,
+    SUPPORTED_OPS,
+    homogeneity_key,
+)
+from repro.serving.framing import (
+    ERROR,
+    REQUEST,
+    RESPONSE,
+    Frame,
+    FrameDecoder,
+    StreamProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.serving.queue import BackpressureError, PendingRequest, RequestQueue
+from repro.serving.server import (
+    EncryptedComputeServer,
+    FlushRecord,
+    ServingReport,
+)
+from repro.serving.session import ClientSession, SessionManager, UnknownClientError
+from repro.serving.traffic import SyntheticClient, SyntheticTenant, synthetic_traffic
+
+__all__ = [
+    "BackpressureError",
+    "BatchGroup",
+    "ClientSession",
+    "DynamicBatcher",
+    "ERROR",
+    "EncryptedComputeServer",
+    "FlushRecord",
+    "Frame",
+    "FrameDecoder",
+    "OP_KEY_KIND",
+    "PendingRequest",
+    "REQUEST",
+    "RESPONSE",
+    "RequestQueue",
+    "ServingReport",
+    "SessionManager",
+    "StreamProtocolError",
+    "SUPPORTED_OPS",
+    "SyntheticClient",
+    "SyntheticTenant",
+    "UnknownClientError",
+    "decode_frame",
+    "encode_frame",
+    "homogeneity_key",
+    "synthetic_traffic",
+]

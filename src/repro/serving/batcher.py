@@ -1,0 +1,143 @@
+"""Homogeneity-aware dynamic batching of independent client requests.
+
+The throughput of the batch layer (``repro.ckks.batch``) comes from
+executing N *same-shape* ciphertexts as one stacked kernel pass -- but
+nothing guarantees that independent client requests arrive same-shaped
+or adjacent.  The dynamic batcher closes that gap: every admitted
+request is routed to a lane keyed by the :class:`CiphertextBatch`
+homogeneity tuple -- ring degree ``n``, component count ``size``,
+``level_count``, ``scale`` and NTT form -- extended with the requested
+operation (one flush runs one op), its argument (a rotation's step
+selects its Galois key), and, for keyed ops, the session's ``key_id``
+(one key broadcasts across a stacked key switch, so only requests under
+the same key material may share a flush).
+
+A lane flushes when it reaches ``max_batch_size`` (a full pipeline) or
+when its oldest request has waited ``max_delay_seconds`` (a latency
+deadline) -- the classic dynamic-batching contract: batch as much as
+the deadline allows, never more than the hardware width.
+
+The key-material component of the lane key is the *identity of the key
+object the flush will actually consume* -- captured on the request at
+admission, not looked up from the session at flush time -- rather than
+the declared ``key_id`` string: a flush executes the whole stacked key
+switch under one key, so requests may only share a keyed lane when
+they carry the very same key object.  A client that (mis)declares
+another tenant's ``key_id`` while holding different keys lands in its
+own lane, and a session that swaps its keys while requests are pending
+cannot retroactively change what those requests execute under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.queue import PendingRequest
+
+#: op name -> key material the op consumes (None for keyless ops).
+OP_KEY_KIND = {
+    "square": "relin",     # multiply by self + relinearize
+    "double": None,        # ct + ct
+    "negate": None,
+    "rescale": None,
+    "rotate": "galois",    # op_arg = slot step
+    "conjugate": "galois",
+}
+
+SUPPORTED_OPS = tuple(sorted(OP_KEY_KIND))
+
+#: Homogeneity key:
+#: (op, op_arg, key-material-ref-or-None, n, size, levels, scale, ntt)
+GroupKey = Tuple[str, int, Optional[Tuple[str, int]], int, int, int, float, bool]
+
+
+def homogeneity_key(request: PendingRequest) -> GroupKey:
+    """The batch lane a request belongs to."""
+    ct = request.ciphertext
+    if OP_KEY_KIND[request.op]:
+        # the id() ties the lane to the key *object* captured on the
+        # request at admission -- the very object the flush consumes --
+        # and the request keeps it alive, so the id is stable for the
+        # lane's lifetime even if the session swaps keys meanwhile
+        key_ref = (request.session.key_id, id(request.key))
+    else:
+        key_ref = None
+    return (
+        request.op,
+        request.op_arg,
+        key_ref,
+        ct.n,
+        ct.size,
+        ct.level_count,
+        ct.scale,
+        ct.is_ntt,
+    )
+
+
+@dataclass
+class BatchGroup:
+    """One flush unit: homogeneous requests sharing op and shape."""
+
+    key: GroupKey
+    requests: List[PendingRequest] = field(default_factory=list)
+    opened_at: float = 0.0
+
+    @property
+    def op(self) -> str:
+        return self.key[0]
+
+    @property
+    def op_arg(self) -> int:
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class DynamicBatcher:
+    """Groups pending requests into homogeneous flush units."""
+
+    def __init__(self, max_batch_size: int = 8, max_delay_seconds: float = 2e-3):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_delay_seconds = max_delay_seconds
+        self._groups: Dict[GroupKey, BatchGroup] = {}
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(g) for g in self._groups.values())
+
+    @property
+    def open_lanes(self) -> int:
+        return len(self._groups)
+
+    def add(self, request: PendingRequest, now: float) -> Optional[BatchGroup]:
+        """Route a request to its lane; return the lane if it just filled."""
+        key = homogeneity_key(request)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = BatchGroup(key, opened_at=now)
+        group.requests.append(request)
+        if len(group) >= self.max_batch_size:
+            del self._groups[key]
+            return group
+        return None
+
+    def due(self, now: float) -> List[BatchGroup]:
+        """Lanes whose oldest request has exceeded the flush deadline."""
+        expired = [
+            key
+            for key, group in self._groups.items()
+            if now - group.opened_at >= self.max_delay_seconds
+        ]
+        return [self._groups.pop(key) for key in expired]
+
+    def flush_all(self) -> List[BatchGroup]:
+        """Flush every lane regardless of fill or deadline (drain/shutdown)."""
+        groups = list(self._groups.values())
+        self._groups.clear()
+        return groups

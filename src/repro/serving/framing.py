@@ -1,0 +1,197 @@
+"""Length-prefixed wire framing for the serving layer.
+
+The paper's deployment story (Section 5.2) has clients streaming
+ciphertexts to a server that forwards them over PCIe to the
+accelerator.  :mod:`repro.ckks.serialization` gives one object a byte
+representation; this module gives a *connection* one: every message is
+
+    ``u32 length | magic "HSRV" | u8 version | u8 kind | u64 request_id
+    | i32 op_arg | u8 client_len | u8 op_len | client_id | op | payload``
+
+where ``length`` counts everything after the prefix, so a byte stream
+can be cut back into messages without parsing the payload.  The payload
+of a request or response frame is exactly one HEAX-serialized object
+(its own header re-validates shape and exact length on arrival -- a
+truncated ciphertext raises instead of deserializing as zeros).
+
+:class:`FrameDecoder` is the stateful stream side: bytes arrive in
+arbitrary chunks (as they do from a socket), complete frames come out.
+A partial *frame* just waits for more bytes; a malformed one (bad
+magic, unknown kind, inconsistent lengths, or a length field exceeding
+the frame cap) raises ``ValueError`` immediately, because a stream
+whose framing is corrupt cannot be resynchronized.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+FRAME_MAGIC = b"HSRV"
+FRAME_VERSION = 1
+
+#: Frame kinds.
+REQUEST = 1
+RESPONSE = 2
+ERROR = 3
+
+_KINDS = (REQUEST, RESPONSE, ERROR)
+
+_PREFIX = struct.Struct("<I")
+_FIXED = struct.Struct("<4sBBQiBB")  # magic, ver, kind, req_id, op_arg, lens
+
+#: Prefix + fixed-header bytes preceding the variable section.
+FRAME_OVERHEAD = _PREFIX.size + _FIXED.size
+
+#: Default frame cap -- comfortably above a Set-C size-3 ciphertext
+#: (3 x 8 x 16384 x 8 B ~= 3 MiB) while bounding what one client can
+#: make the server buffer.
+DEFAULT_MAX_FRAME_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded serving-protocol message."""
+
+    kind: int
+    request_id: int
+    client_id: str
+    op: str = ""
+    op_arg: int = 0
+    payload: bytes = b""
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind == REQUEST
+
+    @property
+    def error_message(self) -> str:
+        """The human-readable payload of an ERROR frame."""
+        return self.payload.decode("utf-8", errors="replace")
+
+
+def encode_frame(
+    kind: int,
+    request_id: int,
+    client_id: str,
+    op: str = "",
+    op_arg: int = 0,
+    payload: bytes = b"",
+) -> bytes:
+    """Encode one frame, length prefix included."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown frame kind {kind}")
+    client = client_id.encode("utf-8")
+    op_bytes = op.encode("utf-8")
+    if len(client) > 255 or len(op_bytes) > 255:
+        raise ValueError("client_id and op must encode to <= 255 bytes")
+    fixed = _FIXED.pack(
+        FRAME_MAGIC, FRAME_VERSION, kind, request_id, op_arg,
+        len(client), len(op_bytes),
+    )
+    body = fixed + client + op_bytes + payload
+    return _PREFIX.pack(len(body)) + body
+
+
+def _decode_body(body: memoryview) -> Frame:
+    magic, version, kind, request_id, op_arg, client_len, op_len = (
+        _FIXED.unpack_from(body)
+    )
+    if magic != FRAME_MAGIC:
+        raise ValueError("not a serving-protocol frame")
+    if version != FRAME_VERSION:
+        raise ValueError(f"unsupported frame version {version}")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown frame kind {kind}")
+    if _FIXED.size + client_len + op_len > len(body):
+        raise ValueError("frame length inconsistent with id/op lengths")
+    pos = _FIXED.size
+    client_id = bytes(body[pos : pos + client_len]).decode("utf-8")
+    pos += client_len
+    op = bytes(body[pos : pos + op_len]).decode("utf-8")
+    pos += op_len
+    return Frame(kind, request_id, client_id, op, op_arg, bytes(body[pos:]))
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame; partial or trailing bytes raise."""
+    if len(data) < _PREFIX.size:
+        raise ValueError("truncated frame: missing length prefix")
+    (length,) = _PREFIX.unpack_from(data)
+    if length < _FIXED.size:
+        raise ValueError(f"frame length {length} below fixed header size")
+    if len(data) != _PREFIX.size + length:
+        raise ValueError(
+            f"frame length mismatch: prefix says {length}, "
+            f"buffer carries {len(data) - _PREFIX.size}"
+        )
+    return _decode_body(memoryview(data)[_PREFIX.size :])
+
+
+class StreamProtocolError(ValueError):
+    """The stream head is malformed and cannot be resynchronized.
+
+    ``frames`` carries every valid frame decoded from the chunk *before*
+    the corruption, so a caller can still process them -- one bad frame
+    must not lose the good requests that arrived in the same read.
+    """
+
+    def __init__(self, message: str, frames: List[Frame]):
+        super().__init__(message)
+        self.frames = frames
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary-chunked byte stream."""
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def next_frame(self) -> "Frame | None":
+        """Decode one frame off the buffer head, or ``None`` if incomplete.
+
+        Raises ``ValueError`` if the head is malformed; the bad bytes
+        stay at the head (the buffer is only consumed on success), so
+        repeated calls keep raising -- a corrupt stream stays corrupt.
+        """
+        if len(self._buffer) < _PREFIX.size:
+            return None
+        (length,) = _PREFIX.unpack_from(self._buffer)
+        if length < _FIXED.size:
+            raise ValueError(f"frame length {length} below fixed header size")
+        if length > self.max_frame_bytes:
+            raise ValueError(
+                f"frame length {length} exceeds cap {self.max_frame_bytes}"
+            )
+        if len(self._buffer) - _PREFIX.size < length:
+            return None  # an incomplete frame is not an error on a stream
+        # copy the body out before shrinking the buffer: a live
+        # memoryview over a bytearray blocks its resize
+        body = bytes(self._buffer[_PREFIX.size : _PREFIX.size + length])
+        frame = _decode_body(memoryview(body))  # buffer untouched on raise
+        del self._buffer[: _PREFIX.size + length]
+        return frame
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append stream bytes; return every frame completed by them.
+
+        On a malformed frame, raises :class:`StreamProtocolError`
+        carrying the frames decoded earlier in the chunk.
+        """
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            try:
+                frame = self.next_frame()
+            except ValueError as exc:
+                raise StreamProtocolError(str(exc), frames) from None
+            if frame is None:
+                return frames
+            frames.append(frame)

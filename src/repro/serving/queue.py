@@ -1,0 +1,70 @@
+"""Bounded request queue -- the server's admission control.
+
+The host in Figure 7 stalls its writer when the accelerator's staging
+buffers are full ("we stop the writing process if the buffer has not
+been read yet"); the serving layer needs the same property one level
+up: a client that streams faster than the batcher drains must be told
+to back off rather than grow server memory without bound.
+:class:`RequestQueue` enforces a hard pending-request cap and raises
+:class:`BackpressureError` at admission time; the server converts that
+into an ERROR frame the client can react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ckks.poly import Ciphertext
+from repro.serving.session import ClientSession
+
+
+class BackpressureError(RuntimeError):
+    """The pending-request cap was hit; the client must retry later."""
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting to be batched.
+
+    ``key`` is the evaluation-key object (relin key or Galois key set)
+    the request will execute under, captured *at admission*: the batch
+    lane is keyed on this object's identity and the flush consumes this
+    same object, so a session swapping its keys while the request is
+    pending can neither corrupt the request nor any lane-mate's result.
+    """
+
+    session: ClientSession
+    request_id: int
+    op: str
+    op_arg: int
+    ciphertext: Ciphertext
+    enqueued_at: float
+    key: object = None
+
+
+@dataclass
+class RequestQueue:
+    """FIFO of admitted requests with a hard depth bound.
+
+    Admission statistics live with the session (per client) and the
+    serving report (global); the queue itself only enforces the bound.
+    """
+
+    max_pending: int = 1024
+    _items: List[PendingRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def submit(self, request: PendingRequest) -> None:
+        if len(self._items) >= self.max_pending:
+            raise BackpressureError(
+                f"request queue full ({self.max_pending} pending); retry later"
+            )
+        self._items.append(request)
+
+    def pop_all(self) -> List[PendingRequest]:
+        """Hand every pending request to the batcher, oldest first."""
+        items, self._items = self._items, []
+        return items

@@ -1,0 +1,401 @@
+"""The encrypted-compute server: multi-client serving over the wire.
+
+This is the software realization of the paper's deployment picture
+(Section 5.2 / Figure 7): many clients stream serialized ciphertexts at
+a host, the host forms *homogeneous batches* out of the independent
+requests, and each batch executes as one stacked pass -- the
+ciphertext-level parallelism the accelerator amortizes its pipelines
+across.  Concretely, one request travels:
+
+    bytes -> FrameDecoder -> RequestQueue (backpressure)
+          -> DynamicBatcher (homogeneity lanes, size/deadline flush)
+          -> BatchEvaluator (N >= 2) or scalar Evaluator (singleton)
+          -> serialized response frame in the client's outbox
+
+Every flush is also recorded as a *measured* :class:`ScheduledOp` --
+input/output PCIe bytes from :func:`ciphertext_wire_bytes`, compute
+seconds from the real execution -- so served traffic drops into the
+same discrete-event host-pipeline simulation
+(:meth:`repro.system.scheduler.HostScheduler.run_executed`) that
+:class:`repro.system.workload.BatchWorkloadRunner` feeds: simulate the
+system, execute the math.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ckks.batch import BatchEvaluator, CiphertextBatch
+from repro.ckks.context import CkksContext
+from repro.ckks.evaluator import Evaluator
+from repro.ckks.poly import Ciphertext
+from repro.ckks.serialization import (
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    serialize_ciphertext,
+)
+from repro.serving import framing
+from repro.serving.batcher import (
+    OP_KEY_KIND,
+    SUPPORTED_OPS,
+    BatchGroup,
+    DynamicBatcher,
+)
+from repro.serving.framing import Frame
+from repro.serving.queue import BackpressureError, PendingRequest, RequestQueue
+from repro.serving.session import ClientSession, SessionManager
+from repro.system.scheduler import HostScheduler, ScheduledOp, ScheduleReport
+from repro.system.pcie import PcieModel
+
+#: ScheduledOp kind per op -- selects the staging-buffer depth in the
+#: host pipeline model (keyswitch is quadruple-buffered, Section 5.2).
+_SCHED_KIND = {
+    "square": "keyswitch",
+    "rotate": "keyswitch",
+    "conjugate": "keyswitch",
+    "rescale": "ntt",
+    "double": "mult",
+    "negate": "mult",
+}
+
+
+@dataclass(frozen=True)
+class FlushRecord:
+    """One executed flush: what ran, how wide, and what it cost."""
+
+    op: str
+    batch_size: int
+    seconds: float
+    batched: bool  # False = singleton fallback through the scalar path
+    scheduled: ScheduledOp
+
+
+@dataclass
+class ServingReport:
+    """Aggregate accounting of everything a server has executed."""
+
+    flushes: List[FlushRecord] = field(default_factory=list)
+    #: enqueue-to-response seconds per completed request.
+    latencies: List[float] = field(default_factory=list)
+    rejected_requests: int = 0
+    error_responses: int = 0
+
+    @property
+    def request_count(self) -> int:
+        return sum(f.batch_size for f in self.flushes)
+
+    @property
+    def flush_count(self) -> int:
+        return len(self.flushes)
+
+    @property
+    def singleton_count(self) -> int:
+        return sum(1 for f in self.flushes if not f.batched)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.request_count / len(self.flushes) if self.flushes else 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(f.seconds for f in self.flushes)
+
+    @property
+    def seconds_per_request(self) -> float:
+        n = self.request_count
+        return self.compute_seconds / n if n else 0.0
+
+    def scheduled_ops(self) -> List[ScheduledOp]:
+        """The measured op stream for ``HostScheduler.run_executed``."""
+        return [f.scheduled for f in self.flushes]
+
+
+class EncryptedComputeServer:
+    """Multi-client encrypted-compute service with dynamic batching.
+
+    ``clock`` is injectable (default ``time.monotonic``) so deadline
+    behavior is testable deterministically; ``pump`` may also be handed
+    an explicit ``now``.
+    """
+
+    def __init__(
+        self,
+        context: CkksContext,
+        max_batch_size: int = 8,
+        max_delay_seconds: float = 2e-3,
+        max_pending: int = 1024,
+        max_frame_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.context = context
+        self.clock = clock
+        self.sessions = SessionManager(context)
+        self.queue = RequestQueue(max_pending)
+        self.batcher = DynamicBatcher(max_batch_size, max_delay_seconds)
+        self.evaluator = Evaluator(context)
+        self.batch_evaluator = BatchEvaluator(context)
+        self.report = ServingReport()
+        self._max_frame_bytes = max_frame_bytes
+
+    # ------------------------------------------------------------------
+    # client lifecycle
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: str, **kwargs) -> ClientSession:
+        """Open a session (see :meth:`SessionManager.register`)."""
+        kwargs.setdefault("max_frame_bytes", self._max_frame_bytes)
+        return self.sessions.register(client_id, **kwargs)
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def receive(self, client_id: str, data: bytes) -> None:
+        """Feed raw stream bytes from one client's connection.
+
+        Raises on a corrupt stream (the transport must reset the
+        connection), but only after accepting every valid frame decoded
+        ahead of the corruption -- one bad frame in a read must not
+        lose the good requests that arrived with it.
+        """
+        session = self.sessions.get(client_id)
+        try:
+            frames = session.decoder.feed(data)
+        except framing.StreamProtocolError as exc:
+            for frame in exc.frames:
+                self._accept(session, frame)
+            raise
+        for frame in frames:
+            self._accept(session, frame)
+
+    def submit_frame(self, client_id: str, frame: Frame) -> None:
+        """Submit one already-decoded frame (in-process clients)."""
+        self._accept(self.sessions.get(client_id), frame)
+
+    def _respond_error(
+        self, session: ClientSession, request_id: int, message: str
+    ) -> None:
+        session.outbox.append(
+            framing.encode_frame(
+                framing.ERROR,
+                request_id,
+                session.client_id,
+                payload=message.encode("utf-8"),
+            )
+        )
+        self.report.error_responses += 1
+
+    def _reject(self, session: ClientSession, request_id: int, message: str) -> None:
+        session.requests_rejected += 1
+        self.report.rejected_requests += 1
+        self._respond_error(session, request_id, message)
+
+    def _accept(self, session: ClientSession, frame: Frame) -> None:
+        if frame.kind != framing.REQUEST:
+            self._respond_error(
+                session, frame.request_id, "server accepts only REQUEST frames"
+            )
+            return
+        if frame.client_id and frame.client_id != session.client_id:
+            # a mis-tagged frame must not execute under (and bill to)
+            # another client's session and keys
+            self._respond_error(
+                session,
+                frame.request_id,
+                f"frame client_id {frame.client_id!r} does not match "
+                f"this connection's session {session.client_id!r}",
+            )
+            return
+        if frame.op not in OP_KEY_KIND:
+            self._respond_error(
+                session,
+                frame.request_id,
+                f"unknown op {frame.op!r}; supported: {', '.join(SUPPORTED_OPS)}",
+            )
+            return
+        key_kind = OP_KEY_KIND[frame.op]
+        # the key object the request will execute under, captured NOW:
+        # the batch lane is keyed on its identity and the flush consumes
+        # it, so later key swaps on the session cannot affect this request
+        key = None
+        if key_kind == "relin":
+            key = session.relin_key
+            if key is None:
+                self._respond_error(
+                    session, frame.request_id, "session has no relinearization key"
+                )
+                return
+        elif key_kind == "galois":
+            key = session.galois_keys
+            if key is None:
+                self._respond_error(
+                    session, frame.request_id, "session has no Galois keys"
+                )
+                return
+        if len(self.queue) >= self.queue.max_pending:
+            # admission check before payload decode: rejection must be
+            # O(1), not cost a full ciphertext deserialization
+            self._reject(
+                session,
+                frame.request_id,
+                f"request queue full ({self.queue.max_pending} pending); "
+                "retry later",
+            )
+            return
+        try:
+            # exact-length validation happens here: a truncated or
+            # padded ciphertext payload raises instead of decoding as
+            # zeros and silently serving garbage
+            ct = deserialize_ciphertext(frame.payload, self.context)
+        except ValueError as exc:
+            self._respond_error(session, frame.request_id, f"bad payload: {exc}")
+            return
+        request = PendingRequest(
+            session, frame.request_id, frame.op, frame.op_arg, ct,
+            self.clock(), key,
+        )
+        try:
+            self.queue.submit(request)
+        except BackpressureError as exc:
+            self._reject(session, frame.request_id, str(exc))
+            return
+        session.requests_accepted += 1
+
+    # ------------------------------------------------------------------
+    # the serve loop
+    # ------------------------------------------------------------------
+    def pump(self, now: Optional[float] = None) -> int:
+        """One scheduler turn: route queued requests, flush what is due.
+
+        Returns the number of requests completed this turn.  A lane
+        flushes as soon as it fills to ``max_batch_size``; lanes that
+        age past ``max_delay_seconds`` flush at whatever width they
+        reached -- a singleton falls back to the scalar evaluator.
+        """
+        if now is None:
+            now = self.clock()
+        completed = 0
+        for request in self.queue.pop_all():
+            full = self.batcher.add(request, now)
+            if full is not None:
+                completed += self._execute(full)
+        for group in self.batcher.due(now):
+            completed += self._execute(group)
+        return completed
+
+    def drain(self) -> int:
+        """Serve everything pending, flushing under-filled lanes too."""
+        completed = self.pump()  # empties the queue into the batcher
+        for group in self.batcher.flush_all():
+            completed += self._execute(group)
+        return completed
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _apply_scalar(self, group: BatchGroup, ct: Ciphertext) -> Ciphertext:
+        ev = self.evaluator
+        # the key captured at admission -- identical for every lane
+        # member by construction (the lane is keyed on its identity)
+        key = group.requests[0].key
+        op, arg = group.op, group.op_arg
+        if op == "square":
+            return ev.relinearize(ev.multiply(ct, ct), key)
+        if op == "double":
+            return ev.add(ct, ct)
+        if op == "negate":
+            return ev.negate(ct)
+        if op == "rescale":
+            return ev.rescale(ct)
+        if op == "rotate":
+            return ev.rotate(ct, arg, key)
+        if op == "conjugate":
+            return ev.conjugate(ct, key)
+        raise ValueError(f"unknown op {op!r}")
+
+    def _apply_batched(
+        self, group: BatchGroup, batch: CiphertextBatch
+    ) -> CiphertextBatch:
+        bev = self.batch_evaluator
+        key = group.requests[0].key
+        op, arg = group.op, group.op_arg
+        if op == "square":
+            return bev.relinearize(bev.multiply(batch, batch), key)
+        if op == "double":
+            return bev.add(batch, batch)
+        if op == "negate":
+            return bev.negate(batch)
+        if op == "rescale":
+            return bev.rescale(batch)
+        if op == "rotate":
+            return bev.rotate(batch, arg, key)
+        if op == "conjugate":
+            return bev.conjugate(batch, key)
+        raise ValueError(f"unknown op {op!r}")
+
+    def _execute(self, group: BatchGroup) -> int:
+        """Run one flush, respond to every member, record accounting."""
+        requests = group.requests
+        batched = len(requests) > 1
+        t0 = time.perf_counter()
+        try:
+            if batched:
+                batch = CiphertextBatch.join([r.ciphertext for r in requests])
+                results = self._apply_batched(group, batch).split()
+            else:
+                results = [self._apply_scalar(group, requests[0].ciphertext)]
+        except (ValueError, KeyError) as exc:
+            # an infeasible op for this shape (rescale at the last
+            # level, square on a size-3 ciphertext, missing Galois key
+            # element, ...) fails the whole homogeneous flush
+            for request in requests:
+                self._respond_error(
+                    request.session, request.request_id, f"op failed: {exc}"
+                )
+            return len(requests)
+        seconds = time.perf_counter() - t0
+        now = self.clock()
+        for request, result in zip(requests, results):
+            request.session.outbox.append(
+                framing.encode_frame(
+                    framing.RESPONSE,
+                    request.request_id,
+                    request.session.client_id,
+                    op=group.op,
+                    op_arg=group.op_arg,
+                    payload=serialize_ciphertext(result),
+                )
+            )
+            self.report.latencies.append(now - request.enqueued_at)
+        in_bytes = sum(
+            ciphertext_wire_bytes(r.ciphertext.n, r.ciphertext.size, r.ciphertext.level_count)
+            for r in requests
+        )
+        out_bytes = sum(
+            ciphertext_wire_bytes(r.n, r.size, r.level_count) for r in results
+        )
+        self.report.flushes.append(
+            FlushRecord(
+                group.op,
+                len(requests),
+                seconds,
+                batched,
+                ScheduledOp(_SCHED_KIND[group.op], in_bytes, out_bytes, seconds),
+            )
+        )
+        return len(requests)
+
+    # ------------------------------------------------------------------
+    # system-model integration
+    # ------------------------------------------------------------------
+    def schedule_report(
+        self, pcie: PcieModel, message_bytes: int
+    ) -> ScheduleReport:
+        """Feed the measured flush stream through the Figure-7 pipeline.
+
+        The serving layer thereby produces exactly the accounting a
+        :class:`repro.system.workload.BatchWorkloadRunner` execution
+        does: real compute seconds, modeled PCIe transfer and buffer
+        back-pressure.
+        """
+        return HostScheduler(pcie, message_bytes).run_executed(self.report)

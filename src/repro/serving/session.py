@@ -1,0 +1,128 @@
+"""Per-client serving sessions with cached evaluation-key material.
+
+Evaluation keys are the big operands of the paper's system model: a
+Set-C key-switching key is ~151 Mb on the wire (Section 5.1), far
+larger than any ciphertext, so a server must receive them *once* per
+client and keep them resident -- exactly what HEAX does by parking key
+material in FPGA DRAM.  A :class:`ClientSession` is the host-side
+record of that residency: the client's relinearization and Galois keys,
+its stream decoder, and its response outbox.
+
+Sessions also carry a ``key_id`` -- a label naming the key set (the
+tenant).  Two requests can only share a batch lane for a *keyed*
+operation (relinearize, rotate, conjugate) when they are evaluated
+under the same key material -- one key broadcasts across the whole
+stacked key switch -- so the dynamic batcher keys its lanes on the
+``key_id`` *and* the identity of the key object captured on each
+request at admission.  Clients of
+one tenant (one organization's key set) register the same shared key
+objects and batch together; unrelated clients -- including one that
+merely *claims* another tenant's ``key_id`` while holding different
+keys -- never share a keyed flush.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ckks.context import CkksContext
+from repro.ckks.keys import GaloisKeySet, RelinKey
+from repro.ckks.serialization import deserialize_kswitch_key
+from repro.serving.framing import FrameDecoder
+
+
+class UnknownClientError(KeyError):
+    """A frame referenced a client that never registered a session."""
+
+
+class ClientSession:
+    """One client's server-side state: keys, stream decoder, outbox."""
+
+    def __init__(
+        self,
+        client_id: str,
+        key_id: str,
+        relin_key: Optional[RelinKey] = None,
+        galois_keys: Optional[GaloisKeySet] = None,
+        max_frame_bytes: Optional[int] = None,
+    ):
+        self.client_id = client_id
+        self.key_id = key_id
+        self.relin_key = relin_key
+        self.galois_keys = galois_keys
+        self.decoder = (
+            FrameDecoder(max_frame_bytes)
+            if max_frame_bytes is not None
+            else FrameDecoder()
+        )
+        #: Encoded response/error frames awaiting pickup by the client.
+        self.outbox: List[bytes] = []
+        self.requests_accepted = 0
+        self.requests_rejected = 0
+
+    def take_outbox(self) -> List[bytes]:
+        """Drain and return the pending response frames."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientSession({self.client_id!r}, key_id={self.key_id!r}, "
+            f"relin={'yes' if self.relin_key else 'no'}, "
+            f"galois={'yes' if self.galois_keys else 'no'})"
+        )
+
+
+class SessionManager:
+    """Registry of client sessions for one serving context."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        self._sessions: Dict[str, ClientSession] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, client_id: str) -> bool:
+        return client_id in self._sessions
+
+    def register(
+        self,
+        client_id: str,
+        relin_key: Optional[RelinKey] = None,
+        galois_keys: Optional[GaloisKeySet] = None,
+        key_id: Optional[str] = None,
+        max_frame_bytes: Optional[int] = None,
+    ) -> ClientSession:
+        """Create a session; ``key_id`` defaults to the client's own id."""
+        if client_id in self._sessions:
+            raise ValueError(f"client {client_id!r} already has a session")
+        session = ClientSession(
+            client_id,
+            key_id if key_id is not None else client_id,
+            relin_key,
+            galois_keys,
+            max_frame_bytes,
+        )
+        self._sessions[client_id] = session
+        return session
+
+    def register_relin_from_wire(self, client_id: str, blob: bytes) -> None:
+        """Install a relinearization key uploaded in wire format.
+
+        Goes through :func:`deserialize_kswitch_key`, so a key from a
+        different ring or with a truncated payload is rejected here, at
+        the upload boundary, instead of corrupting every later request.
+        """
+        session = self.get(client_id)
+        session.relin_key = RelinKey(
+            deserialize_kswitch_key(blob, self.context).digits
+        )
+
+    def get(self, client_id: str) -> ClientSession:
+        try:
+            return self._sessions[client_id]
+        except KeyError:
+            raise UnknownClientError(
+                f"no session for client {client_id!r}; register first"
+            ) from None

@@ -256,3 +256,35 @@ class TestStackedKernelContract:
         m = ctx.galois_map(elt)
         m[0] = (m[0][0], not m[0][1])
         assert ctx.galois_map(elt)[0] != m[0]
+
+
+class TestBatchScaleHardening:
+    """The batch path shares the hardened scale discipline."""
+
+    def test_join_rejects_zero_scale_pair(self, env):
+        a, b = fresh_cts(env, 2)
+        a.scale = 0.0
+        b.scale = 0.0
+        # both zero: the old relative-tolerance test passed this pair
+        with pytest.raises(ValueError, match="scale"):
+            CiphertextBatch.join([a, b])
+
+    def test_join_rejects_zero_scale_first_element(self, env):
+        (a,) = fresh_cts(env, 1)
+        a.scale = 0.0
+        with pytest.raises(ValueError, match="non-positive"):
+            CiphertextBatch.join([a])
+
+    def test_join_rejects_negative_scale(self, env):
+        a, b = fresh_cts(env, 2)
+        b.scale = -b.scale
+        with pytest.raises(ValueError, match="scale"):
+            CiphertextBatch.join([a, b])
+
+    def test_batch_add_rejects_zero_scale(self, env):
+        bev = env["batch_evaluator"]
+        b0 = CiphertextBatch.join(fresh_cts(env, 2))
+        b1 = CiphertextBatch.join(fresh_cts(env, 2))
+        b1.scale = 0.0
+        with pytest.raises(ValueError, match="non-positive scale"):
+            bev.add(b0, b1)

@@ -136,3 +136,57 @@ class TestRescale:
         assert sq.level_count == 1
         expected = (VALS_A * VALS_B) ** 2
         assert np.allclose(dec(encoder, decryptor, sq), expected, atol=0.1)
+
+
+class TestScaleCheckHardening:
+    """check_scales must reject degenerate scales, not pass vacuously.
+
+    With ``max(a, b) <= 0`` the relative-tolerance bound is non-positive,
+    so before the fix *any* pair containing a zero/negative scale passed
+    the mismatch test.
+    """
+
+    def test_zero_scale_rejected(self):
+        from repro.ckks.evaluator import check_scales
+
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(0.0, 0.0)
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(0.0, 2.0**40)
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(2.0**40, 0.0)
+
+    def test_negative_scale_rejected(self):
+        from repro.ckks.evaluator import check_scales
+
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(-1.0, 1e30)
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(-2.0**28, -2.0**28)
+
+    def test_nan_scale_rejected(self):
+        from repro.ckks.evaluator import check_scales
+
+        with pytest.raises(ValueError, match="non-positive scale"):
+            check_scales(float("nan"), 2.0**28)
+
+    def test_valid_scales_still_pass(self):
+        from repro.ckks.evaluator import check_scales
+
+        check_scales(2.0**28, 2.0**28)
+        check_scales(2.0**28, 2.0**28 * (1 + 1e-12))
+
+    def test_genuine_mismatch_still_raises(self):
+        from repro.ckks.evaluator import check_scales
+
+        with pytest.raises(ValueError, match="scale mismatch"):
+            check_scales(2.0**28, 2.0**29)
+
+    def test_add_rejects_zero_scale_operand(
+        self, encoder, encryptor, evaluator
+    ):
+        a = enc(encoder, encryptor, VALS_A)
+        b = enc(encoder, encryptor, VALS_B)
+        b.scale = 0.0
+        with pytest.raises(ValueError, match="non-positive scale"):
+            evaluator.add(a, b)

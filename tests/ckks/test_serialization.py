@@ -1,4 +1,11 @@
-"""Tests for the wire format and its size accounting."""
+"""Tests for the wire format and its size accounting.
+
+Beyond round-trip correctness, the corruption classes here pin down the
+*rejection* behavior: every way a payload can be malformed -- truncated
+at any header or payload boundary, padded with trailing bytes, wrong
+magic, wrong kind, wrong ring -- must raise ``ValueError``.  Before
+these checks existed a truncated ciphertext deserialized silently into
+zeros (``int.from_bytes(b"", "little") == 0``)."""
 
 import numpy as np
 import pytest
@@ -123,3 +130,184 @@ class TestSizeAccounting:
         k = toy_context.k
         expected = kswitch_key_wire_bytes(toy_context.n, k)
         assert len(blob) - HEADER_BYTES == expected
+
+
+def _all_objects(toy_context, encoder, encryptor, evaluator, relin_key):
+    """(blob, deserializer) pairs covering every kind and several shapes."""
+    ct2 = encryptor.encrypt(encoder.encode([1.5, -0.25]))
+    ct3 = evaluator.multiply(ct2, ct2)
+    dropped = evaluator.rescale(ct3)
+    pt_ntt = encoder.encode([0.5, 2.0])
+    pt_coeff = encoder.encode([1.0], to_ntt=False)
+    pt_low = encoder.encode(0.25, level_count=2)
+    return [
+        (serialize_ciphertext(ct2), deserialize_ciphertext),
+        (serialize_ciphertext(ct3), deserialize_ciphertext),
+        (serialize_ciphertext(dropped), deserialize_ciphertext),
+        (serialize_plaintext(pt_ntt), deserialize_plaintext),
+        (serialize_plaintext(pt_coeff), deserialize_plaintext),
+        (serialize_plaintext(pt_low), deserialize_plaintext),
+        (serialize_kswitch_key(relin_key), deserialize_kswitch_key),
+    ]
+
+
+class TestRoundTripProperty:
+    """Serialize -> deserialize -> serialize is the identity on bytes."""
+
+    def test_reserialization_is_bit_exact(
+        self, toy_context, encoder, encryptor, evaluator, relin_key
+    ):
+        serializers = {
+            deserialize_ciphertext: serialize_ciphertext,
+            deserialize_plaintext: serialize_plaintext,
+            deserialize_kswitch_key: serialize_kswitch_key,
+        }
+        for blob, deserialize in _all_objects(
+            toy_context, encoder, encryptor, evaluator, relin_key
+        ):
+            back = deserialize(blob, toy_context)
+            assert serializers[deserialize](back) == blob
+
+    @pytest.mark.parametrize("n,k", [(32, 2), (64, 1), (128, 4)])
+    def test_roundtrip_across_shapes(self, n, k):
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.ckks.encoder import CkksEncoder
+        from repro.ckks.encryptor import Encryptor
+        from repro.ckks.keys import KeyGenerator
+
+        ctx = CkksContext(toy_parameters(n=n, k=k, prime_bits=30))
+        keygen = KeyGenerator(ctx, seed=n + k)
+        ct = Encryptor(ctx, keygen.public_key(), seed=1).encrypt(
+            CkksEncoder(ctx).encode([1.0, -2.0])
+        )
+        blob = serialize_ciphertext(ct)
+        assert serialize_ciphertext(deserialize_ciphertext(blob, ctx)) == blob
+
+
+class TestCorruptionRejected:
+    """Every malformed payload raises; nothing deserializes silently."""
+
+    def test_truncation_at_every_header_boundary(
+        self, toy_context, encoder, encryptor, evaluator, relin_key
+    ):
+        for blob, deserialize in _all_objects(
+            toy_context, encoder, encryptor, evaluator, relin_key
+        ):
+            for cut in range(HEADER_BYTES):
+                with pytest.raises(ValueError):
+                    deserialize(blob[:cut], toy_context)
+
+    def test_truncation_at_every_payload_word_boundary(
+        self, toy_context, encoder, encryptor
+    ):
+        blob = serialize_ciphertext(encryptor.encrypt(encoder.encode([2.0])))
+        for cut in range(HEADER_BYTES, len(blob), WORD_BYTES):
+            with pytest.raises(ValueError, match="truncated"):
+                deserialize_ciphertext(blob[:cut], toy_context)
+
+    def test_truncation_mid_word(
+        self, toy_context, encoder, encryptor, evaluator, relin_key
+    ):
+        for blob, deserialize in _all_objects(
+            toy_context, encoder, encryptor, evaluator, relin_key
+        ):
+            with pytest.raises(ValueError, match="truncated"):
+                deserialize(blob[:-3], toy_context)
+            with pytest.raises(ValueError, match="truncated"):
+                deserialize(blob[: HEADER_BYTES + 1], toy_context)
+
+    def test_trailing_garbage_rejected(
+        self, toy_context, encoder, encryptor, evaluator, relin_key
+    ):
+        for blob, deserialize in _all_objects(
+            toy_context, encoder, encryptor, evaluator, relin_key
+        ):
+            for junk in (b"\x00", b"garbage"):
+                with pytest.raises(ValueError, match="trailing"):
+                    deserialize(blob + junk, toy_context)
+
+    def test_truncated_payload_no_longer_decodes_as_zeros(
+        self, toy_context, encoder, encryptor
+    ):
+        """The original bug: a cut blob yielded an all-zeros ciphertext."""
+        ct = encryptor.encrypt(encoder.encode([3.0]))
+        blob = serialize_ciphertext(ct)
+        cut = blob[: HEADER_BYTES + ct.n * WORD_BYTES]  # one row of 2k+... gone
+        with pytest.raises(ValueError, match="truncated"):
+            deserialize_ciphertext(cut, toy_context)
+
+    def test_bad_kind_byte_rejected(
+        self, toy_context, encoder, encryptor, evaluator, relin_key
+    ):
+        for blob, deserialize in _all_objects(
+            toy_context, encoder, encryptor, evaluator, relin_key
+        ):
+            mangled = bytearray(blob)
+            mangled[5] = 99  # kind byte: magic(4) + version(1)
+            with pytest.raises(ValueError):
+                deserialize(bytes(mangled), toy_context)
+
+    def test_kind_cross_rejected(self, toy_context, encoder, relin_key):
+        pt_blob = serialize_plaintext(encoder.encode([1.0]))
+        ksk_blob = serialize_kswitch_key(relin_key)
+        with pytest.raises(ValueError, match="not a ciphertext"):
+            deserialize_ciphertext(ksk_blob, toy_context)
+        with pytest.raises(ValueError, match="not a plaintext"):
+            deserialize_plaintext(ksk_blob, toy_context)
+        with pytest.raises(ValueError, match="not a key-switching key"):
+            deserialize_kswitch_key(pt_blob, toy_context)
+
+    def test_zero_count_header_rejected(self, toy_context, encoder, encryptor):
+        import struct
+
+        blob = bytearray(serialize_ciphertext(encryptor.encrypt(encoder.encode([1.0]))))
+        struct.pack_into("<H", blob, 10, 0)  # comps := 0
+        with pytest.raises(ValueError, match="malformed header"):
+            deserialize_ciphertext(bytes(blob[:HEADER_BYTES]), toy_context)
+
+    def test_kswitch_key_from_wrong_ring_rejected(self, toy_context):
+        """The key path must enforce the same ring check as ciphertexts."""
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.ckks.keys import KeyGenerator
+
+        other = CkksContext(toy_parameters(n=32, k=3, prime_bits=30))
+        foreign = KeyGenerator(other, seed=9).relin_key()
+        with pytest.raises(ValueError, match="ring mismatch"):
+            deserialize_kswitch_key(serialize_kswitch_key(foreign), toy_context)
+
+    def test_plaintext_from_wrong_ring_rejected(self, toy_context):
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.ckks.encoder import CkksEncoder
+
+        other = CkksContext(toy_parameters(n=32, k=3, prime_bits=30))
+        blob = serialize_plaintext(CkksEncoder(other).encode([1.0]))
+        with pytest.raises(ValueError, match="ring mismatch"):
+            deserialize_plaintext(blob, toy_context)
+
+
+class TestScaleMetadataRejected:
+    """Degenerate scale in the wire header is corrupt metadata."""
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0**28, float("nan"), float("inf")])
+    def test_ciphertext_bad_scale_rejected(
+        self, toy_context, encoder, encryptor, bad
+    ):
+        import struct
+
+        blob = bytearray(serialize_ciphertext(encryptor.encrypt(encoder.encode([1.0]))))
+        struct.pack_into("<d", blob, 14, bad)  # scale field of the header
+        with pytest.raises(ValueError, match="scale"):
+            deserialize_ciphertext(bytes(blob), toy_context)
+
+    def test_plaintext_bad_scale_rejected(self, toy_context, encoder):
+        import struct
+
+        blob = bytearray(serialize_plaintext(encoder.encode([1.0])))
+        struct.pack_into("<d", blob, 14, 0.0)
+        with pytest.raises(ValueError, match="scale"):
+            deserialize_plaintext(bytes(blob), toy_context)
+
+    def test_kswitch_key_zero_scale_still_accepted(self, toy_context, relin_key):
+        # keys carry no scale; their header legitimately writes 0.0
+        blob = serialize_kswitch_key(relin_key)
+        assert deserialize_kswitch_key(blob, toy_context).digit_count == relin_key.digit_count

@@ -1,0 +1,30 @@
+"""Serving-layer fixtures: a toy context plus one synthetic tenant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.serving.traffic import SyntheticClient, SyntheticTenant
+
+
+@pytest.fixture(scope="session")
+def serving_context() -> CkksContext:
+    return CkksContext(toy_parameters(n=64, k=3, prime_bits=30))
+
+
+@pytest.fixture(scope="session")
+def tenant(serving_context) -> SyntheticTenant:
+    return SyntheticTenant(serving_context, seed=404)
+
+
+@pytest.fixture()
+def make_client(tenant):
+    """Factory for clients with unique ids per test."""
+    counter = {"n": 0}
+
+    def _make() -> SyntheticClient:
+        counter["n"] += 1
+        return SyntheticClient(tenant, f"c{counter['n']}-{id(counter)}", seed=counter["n"])
+
+    return _make

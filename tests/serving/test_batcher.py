@@ -1,0 +1,153 @@
+"""Homogeneity grouping and size/deadline flush behavior.
+
+The batcher only reads shape metadata off a request's ciphertext, so
+these tests drive it with lightweight stand-ins and a manual clock --
+the full stack (real ciphertexts, real execution) is covered in
+``test_server.py``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serving.batcher import DynamicBatcher, homogeneity_key
+from repro.serving.queue import PendingRequest
+from repro.serving.session import ClientSession
+
+
+def make_request(
+    op="square",
+    op_arg=0,
+    key_id="tenant",
+    n=64,
+    size=2,
+    levels=3,
+    scale=2.0**28,
+    is_ntt=True,
+    now=0.0,
+    key=None,
+):
+    ct = SimpleNamespace(n=n, size=size, level_count=levels, scale=scale, is_ntt=is_ntt)
+    session = ClientSession("client", key_id)
+    return PendingRequest(session, 0, op, op_arg, ct, now, key)
+
+
+class TestHomogeneityKey:
+    def test_same_shape_same_lane(self):
+        assert homogeneity_key(make_request()) == homogeneity_key(make_request())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"op": "rescale"},
+            {"op_arg": 1, "op": "rotate"},
+            {"n": 128},
+            {"size": 3},
+            {"levels": 2},
+            {"scale": 2.0**30},
+            {"is_ntt": False},
+        ],
+    )
+    def test_shape_differences_split_lanes(self, kwargs):
+        assert homogeneity_key(make_request(**kwargs)) != homogeneity_key(
+            make_request()
+        )
+
+    def test_keyed_op_separates_tenants(self):
+        a = make_request(op="square", key_id="tenant-a")
+        b = make_request(op="square", key_id="tenant-b")
+        assert homogeneity_key(a) != homogeneity_key(b)
+
+    def test_keyless_op_batches_across_tenants(self):
+        a = make_request(op="double", key_id="tenant-a")
+        b = make_request(op="double", key_id="tenant-b")
+        assert homogeneity_key(a) == homogeneity_key(b)
+
+
+class TestFlushPolicy:
+    def test_flush_on_max_batch_size(self):
+        batcher = DynamicBatcher(max_batch_size=3, max_delay_seconds=10.0)
+        assert batcher.add(make_request(), now=0.0) is None
+        assert batcher.add(make_request(), now=0.0) is None
+        group = batcher.add(make_request(), now=0.0)
+        assert group is not None and len(group) == 3
+        assert batcher.pending_count == 0
+
+    def test_flush_on_deadline(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=1.0)
+        batcher.add(make_request(), now=0.0)
+        batcher.add(make_request(), now=0.5)
+        assert batcher.due(now=0.9) == []
+        (group,) = batcher.due(now=1.0)  # deadline counts from lane opening
+        assert len(group) == 2
+        assert batcher.pending_count == 0
+
+    def test_deadline_is_per_lane(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=1.0)
+        batcher.add(make_request(op="square"), now=0.0)
+        batcher.add(make_request(op="rescale"), now=0.8)
+        due = batcher.due(now=1.1)
+        assert [g.op for g in due] == ["square"]
+        assert batcher.pending_count == 1
+
+    def test_singleton_lane_flushes_on_deadline(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=0.0)
+        batcher.add(make_request(), now=5.0)
+        (group,) = batcher.due(now=5.0)
+        assert len(group) == 1
+
+    def test_flush_all_drains_every_lane(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        batcher.add(make_request(op="square"), now=0.0)
+        batcher.add(make_request(op="rescale"), now=0.0)
+        batcher.add(make_request(op="rescale"), now=0.0)
+        groups = batcher.flush_all()
+        assert sorted(len(g) for g in groups) == [1, 2]
+        assert batcher.pending_count == 0 and batcher.open_lanes == 0
+
+    def test_heterogeneous_stream_forms_separate_full_lanes(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_delay_seconds=10.0)
+        flushed = []
+        for i in range(4):
+            op = "square" if i % 2 == 0 else "rescale"
+            group = batcher.add(make_request(op=op), now=0.0)
+            if group:
+                flushed.append(group.op)
+        assert sorted(flushed) == ["rescale", "square"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_delay_seconds=-1.0)
+
+
+class TestKeyMaterialIdentity:
+    """Keyed lanes bind to the key object captured on the request at
+    admission, not the key_id label (and not the session's current key)."""
+
+    def test_same_key_id_different_relin_keys_split_lanes(self):
+        # claims the same label, carries different key material
+        a = make_request(op="square", key_id="shared", key=object())
+        b = make_request(op="square", key_id="shared", key=object())
+        assert homogeneity_key(a) != homogeneity_key(b)
+
+    def test_shared_key_objects_share_lane(self):
+        relin = object()
+        a = make_request(op="square", key_id="shared", key=relin)
+        b = make_request(op="square", key_id="shared", key=relin)
+        assert homogeneity_key(a) == homogeneity_key(b)
+
+    def test_galois_ops_bind_to_captured_key_set(self):
+        keys = object()
+        a = make_request(op="rotate", op_arg=1, key_id="shared", key=keys)
+        b = make_request(op="rotate", op_arg=1, key_id="shared", key=object())
+        assert homogeneity_key(a) != homogeneity_key(b)
+
+    def test_session_key_swap_does_not_move_pending_request(self):
+        """The lane follows the captured key even if the session mutates."""
+        captured = object()
+        a = make_request(op="square", key_id="shared", key=captured)
+        lane_before = homogeneity_key(a)
+        a.session.relin_key = object()  # key rotation while pending
+        assert homogeneity_key(a) == lane_before

@@ -1,0 +1,442 @@
+"""End-to-end serving: correctness, batching equivalence, backpressure,
+error handling, and system-model accounting."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.serialization import (
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    serialize_ciphertext,
+    serialize_kswitch_key,
+)
+from repro.serving import framing
+from repro.serving.server import EncryptedComputeServer
+from repro.serving.session import UnknownClientError
+from repro.serving.traffic import synthetic_traffic
+from repro.system.pcie import PcieModel
+
+
+def serve(server, tenant, clients, stream):
+    for client in clients:
+        client.connect(server)
+    for client_id, data in stream:
+        server.receive(client_id, data)
+    return server.drain()
+
+
+def collect_responses(server, clients):
+    """(client_id, request_id) -> decoded response frame."""
+    out = {}
+    for client in clients:
+        for blob in server.sessions.get(client.client_id).take_outbox():
+            frame = framing.decode_frame(blob)
+            out[(client.client_id, frame.request_id)] = frame
+    return out
+
+
+class TestEndToEnd:
+    def test_square_responses_decrypt_correctly(self, serving_context, tenant):
+        server = EncryptedComputeServer(serving_context, max_batch_size=4)
+        clients, stream = synthetic_traffic(tenant, 4, 2, op="square", seed=31)
+        completed = serve(server, tenant, clients, stream)
+        assert completed == 8
+        responses = collect_responses(server, clients)
+        assert len(responses) == 8
+        slots = serving_context.params.slot_count
+        for (client_id, request_id), frame in responses.items():
+            assert frame.kind == framing.RESPONSE and frame.op == "square"
+            i = int(client_id.split("-")[1])
+            expected = [
+                (i + 1) / (request_id + j + 2) for j in range(min(slots, 4))
+            ]
+            _, values = tenant.decrypt_response(
+                framing.encode_frame(
+                    frame.kind, frame.request_id, client_id, payload=frame.payload
+                )
+            )
+            got = np.array(values[: len(expected)]).real
+            assert np.allclose(got, np.array(expected) ** 2, atol=1e-2)
+
+    def test_batched_equals_sequential_bit_for_bit(self, serving_context, tenant):
+        """The acceptance criterion: dynamic batching must not change bits."""
+
+        def run(max_batch_size):
+            server = EncryptedComputeServer(
+                serving_context, max_batch_size=max_batch_size
+            )
+            clients, stream = synthetic_traffic(
+                tenant,
+                4,
+                2,
+                seed=77,
+                ops=[("square", 0), ("rotate", 1), ("rescale", 0), ("double", 0)],
+            )
+            serve(server, tenant, clients, stream)
+            return (
+                {
+                    key: frame.payload
+                    for key, frame in collect_responses(server, clients).items()
+                },
+                server.report,
+            )
+
+        sequential, seq_report = run(max_batch_size=1)
+        batched, batch_report = run(max_batch_size=4)
+        assert seq_report.singleton_count == seq_report.flush_count  # all scalar
+        assert batch_report.mean_batch_size > 1.0  # batching actually happened
+        assert sequential.keys() == batched.keys()
+        for key in sequential:
+            assert sequential[key] == batched[key], f"bit mismatch for {key}"
+
+    def test_mixed_level_requests_split_lanes(self, serving_context, tenant, make_client):
+        """A rescaled ciphertext must not share a flush with a fresh one."""
+        server = EncryptedComputeServer(serving_context, max_batch_size=8)
+        client = make_client()
+        client.connect(server)
+        fresh = client.request_bytes("double", [1.0])
+        # build a lower-level request by hand: rescale drops one prime
+        frame = framing.decode_frame(client.request_bytes("double", [1.0]))
+        ct = deserialize_ciphertext(frame.payload, serving_context)
+        dropped = tenant.keygen  # reuse tenant context only
+        from repro.ckks.evaluator import Evaluator
+
+        low = Evaluator(serving_context).rescale(
+            Evaluator(serving_context).multiply_plain(
+                ct, tenant.encoder.encode(1.0)
+            )
+        )
+        low_frame = framing.encode_frame(
+            framing.REQUEST, 99, client.client_id, op="double",
+            payload=serialize_ciphertext(low),
+        )
+        server.receive(client.client_id, fresh)
+        server.receive(client.client_id, low_frame)
+        server.drain()
+        assert server.report.flush_count == 2
+        assert server.report.singleton_count == 2
+
+    def test_singleton_falls_back_to_scalar_path(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context, max_batch_size=8)
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("square", [2.0]))
+        assert server.drain() == 1
+        (flush,) = server.report.flushes
+        assert flush.batch_size == 1 and not flush.batched
+
+    def test_deadline_flush_with_manual_clock(self, serving_context, tenant, make_client):
+        now = {"t": 0.0}
+        server = EncryptedComputeServer(
+            serving_context,
+            max_batch_size=8,
+            max_delay_seconds=0.010,
+            clock=lambda: now["t"],
+        )
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("square", [1.0]))
+        server.receive(client.client_id, client.request_bytes("square", [2.0]))
+        assert server.pump() == 0  # under-filled lane, deadline not reached
+        now["t"] = 0.005
+        assert server.pump() == 0
+        now["t"] = 0.011
+        assert server.pump() == 2  # deadline expired: flush at width 2
+        (flush,) = server.report.flushes
+        assert flush.batch_size == 2 and flush.batched
+
+
+class TestAdmissionControl:
+    def test_backpressure_produces_error_frames(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context, max_pending=2)
+        client = make_client()
+        client.connect(server)
+        for _ in range(3):
+            server.receive(client.client_id, client.request_bytes("double", [1.0]))
+        session = server.sessions.get(client.client_id)
+        assert session.requests_accepted == 2
+        assert session.requests_rejected == 1
+        errors = [
+            framing.decode_frame(b)
+            for b in session.take_outbox()
+            if framing.decode_frame(b).kind == framing.ERROR
+        ]
+        assert len(errors) == 1
+        assert "queue full" in errors[0].error_message
+        assert server.report.rejected_requests == 1
+        assert server.drain() == 2  # the admitted two still complete
+
+    def test_unknown_client_rejected(self, serving_context):
+        server = EncryptedComputeServer(serving_context)
+        with pytest.raises(UnknownClientError):
+            server.receive("nobody", b"")
+
+    def test_truncated_ciphertext_payload_is_error_not_zeros(
+        self, serving_context, tenant, make_client
+    ):
+        """The wire-format fix surfaces as an ERROR frame, not bad math."""
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        good = framing.decode_frame(client.request_bytes("double", [1.0]))
+        server.submit_frame(
+            client.client_id,
+            framing.Frame(
+                framing.REQUEST, 5, client.client_id, "double", 0,
+                good.payload[:-8],
+            ),
+        )
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        frame = framing.decode_frame(blob)
+        assert frame.kind == framing.ERROR
+        assert "truncated" in frame.error_message
+
+    def test_unknown_op_rejected(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("transmogrify", [1.0]))
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        assert "unknown op" in framing.decode_frame(blob).error_message
+
+    def test_keyed_op_without_key_rejected(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        server.register_client(client.client_id)  # no keys cached
+        server.receive(client.client_id, client.request_bytes("square", [1.0]))
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        assert "relinearization" in framing.decode_frame(blob).error_message
+
+    def test_infeasible_op_fails_flush_gracefully(
+        self, serving_context, tenant, make_client
+    ):
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        # step 2 has no Galois key in the tenant's set ([1] + conjugation)
+        server.receive(client.client_id, client.request_bytes("rotate", [1.0], op_arg=2))
+        assert server.drain() == 1
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        frame = framing.decode_frame(blob)
+        assert frame.kind == framing.ERROR and "op failed" in frame.error_message
+
+
+class TestKeyUpload:
+    def test_relin_key_uploaded_over_wire(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        server.register_client(client.client_id, key_id=tenant.key_id)
+        server.sessions.register_relin_from_wire(
+            client.client_id, serialize_kswitch_key(tenant.relin_key)
+        )
+        server.receive(client.client_id, client.request_bytes("square", [3.0]))
+        server.drain()
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        _, values = tenant.decrypt_response(blob)
+        assert abs(values[0].real - 9.0) < 1e-2
+
+    def test_wrong_ring_key_rejected_at_upload(self, serving_context, tenant, make_client):
+        from repro.ckks.context import CkksContext, toy_parameters
+        from repro.ckks.keys import KeyGenerator
+
+        other = CkksContext(toy_parameters(n=32, k=3, prime_bits=30))
+        foreign = KeyGenerator(other, seed=5).relin_key()
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        server.register_client(client.client_id)
+        with pytest.raises(ValueError, match="ring mismatch"):
+            server.sessions.register_relin_from_wire(
+                client.client_id, serialize_kswitch_key(foreign)
+            )
+
+
+class TestSystemModelIntegration:
+    def test_scheduled_ops_carry_wire_accurate_bytes(
+        self, serving_context, tenant, make_client
+    ):
+        server = EncryptedComputeServer(serving_context, max_batch_size=2)
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("square", [1.0]))
+        server.receive(client.client_id, client.request_bytes("square", [2.0]))
+        server.drain()
+        (flush,) = server.report.flushes
+        n, k = serving_context.n, serving_context.k
+        # in: 2 size-2 ciphertexts; out: 2 size-2 (relinearized) results
+        assert flush.scheduled.input_bytes == 2 * ciphertext_wire_bytes(n, 2, k)
+        assert flush.scheduled.output_bytes == 2 * ciphertext_wire_bytes(n, 2, k)
+        assert flush.scheduled.kind == "keyswitch"
+        assert flush.scheduled.compute_seconds == flush.seconds > 0
+
+    def test_schedule_report_runs_measured_stream(self, serving_context, tenant):
+        server = EncryptedComputeServer(serving_context, max_batch_size=4)
+        clients, stream = synthetic_traffic(tenant, 4, 2, op="square", seed=13)
+        serve(server, tenant, clients, stream)
+        report = server.schedule_report(PcieModel(3.2e9), 1 << 15)
+        assert report.ops == server.report.flush_count
+        assert report.total_seconds > 0
+        assert report.compute_seconds == pytest.approx(
+            server.report.compute_seconds
+        )
+
+    def test_latency_recorded_per_request(self, serving_context, tenant):
+        server = EncryptedComputeServer(serving_context, max_batch_size=4)
+        clients, stream = synthetic_traffic(tenant, 2, 3, op="double", seed=3)
+        completed = serve(server, tenant, clients, stream)
+        assert len(server.report.latencies) == completed == 6
+        assert all(l >= 0 for l in server.report.latencies)
+
+
+class TestKeyIsolation:
+    def test_same_key_id_different_keys_never_share_a_flush(
+        self, serving_context, tenant
+    ):
+        """A client claiming another tenant's key_id with different keys
+        must get its own (correct) lane, not corrupt the tenant's batch."""
+        from repro.ckks.keys import KeyGenerator
+        from repro.serving.traffic import SyntheticClient, SyntheticTenant
+
+        other = SyntheticTenant(serving_context, seed=505, key_id=tenant.key_id)
+        assert other.relin_key is not tenant.relin_key
+        server = EncryptedComputeServer(serving_context, max_batch_size=2)
+        honest = SyntheticClient(tenant, "honest", seed=1)
+        claimant = SyntheticClient(other, "claimant", seed=2)
+        honest.connect(server)
+        server.register_client(
+            "claimant",
+            relin_key=other.relin_key,
+            galois_keys=other.galois_keys,
+            key_id=tenant.key_id,  # same label, different key material
+        )
+        server.receive("honest", honest.request_bytes("square", [3.0]))
+        server.receive("claimant", claimant.request_bytes("square", [3.0]))
+        assert server.drain() == 2
+        assert server.report.flush_count == 2  # two singleton lanes
+        (h_blob,) = server.sessions.get("honest").take_outbox()
+        (c_blob,) = server.sessions.get("claimant").take_outbox()
+        _, h_vals = tenant.decrypt_response(h_blob)
+        _, c_vals = other.decrypt_response(c_blob)
+        assert abs(h_vals[0].real - 9.0) < 1e-2
+        assert abs(c_vals[0].real - 9.0) < 1e-2
+
+
+class TestStreamCorruption:
+    def test_valid_requests_before_corruption_still_served(
+        self, serving_context, tenant, make_client
+    ):
+        from repro.serving.framing import StreamProtocolError
+
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        good = client.request_bytes("double", [2.0])
+        corrupt = bytearray(client.request_bytes("double", [1.0]))
+        corrupt[4] = 0  # bad frame magic
+        with pytest.raises(StreamProtocolError):
+            server.receive(client.client_id, good + bytes(corrupt))
+        assert server.drain() == 1  # the good request was accepted and served
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        _, values = tenant.decrypt_response(blob)
+        assert abs(values[0].real - 4.0) < 1e-2
+
+
+class TestKeyCaptureAtAdmission:
+    def test_key_rotation_mid_pending_does_not_corrupt_lane_mates(
+        self, serving_context, tenant
+    ):
+        """A client uploading a new relin key while its request is pending
+        must not change what any pending request executes under."""
+        from repro.serving.traffic import SyntheticClient, SyntheticTenant
+
+        server = EncryptedComputeServer(serving_context, max_batch_size=2)
+        a = SyntheticClient(tenant, "rotator", seed=41)
+        b = SyntheticClient(tenant, "victim", seed=42)
+        a.connect(server)
+        b.connect(server)
+        server.receive("rotator", a.request_bytes("square", [3.0]))
+        # mid-pending key rotation: a *different* (wrong-secret) key set
+        rogue = SyntheticTenant(serving_context, seed=606)
+        server.sessions.register_relin_from_wire(
+            "rotator", serialize_kswitch_key(rogue.relin_key)
+        )
+        server.receive("victim", b.request_bytes("square", [3.0]))
+        server.drain()
+        # both pending requests captured the original tenant key, so both
+        # still batch together and decrypt correctly
+        assert server.report.flush_count == 1
+        (flush,) = server.report.flushes
+        assert flush.batch_size == 2 and flush.batched
+        for cid in ("rotator", "victim"):
+            (blob,) = server.sessions.get(cid).take_outbox()
+            _, values = tenant.decrypt_response(blob)
+            assert abs(values[0].real - 9.0) < 1e-2, cid
+
+    def test_request_after_rotation_uses_new_lane(
+        self, serving_context, tenant, make_client
+    ):
+        server = EncryptedComputeServer(serving_context, max_batch_size=2)
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("square", [2.0]))
+        server.sessions.register_relin_from_wire(
+            client.client_id, serialize_kswitch_key(tenant.relin_key)
+        )
+        server.receive(client.client_id, client.request_bytes("square", [2.0]))
+        server.drain()
+        # same math keys, but distinct objects -> distinct lanes
+        assert server.report.flush_count == 2
+        for blob in server.sessions.get(client.client_id).take_outbox():
+            _, values = tenant.decrypt_response(blob)
+            assert abs(values[0].real - 4.0) < 1e-2
+
+
+class TestFrameClientIdValidation:
+    def test_mis_tagged_frame_rejected(self, serving_context, tenant, make_client):
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        good = framing.decode_frame(client.request_bytes("double", [1.0]))
+        forged = framing.Frame(
+            framing.REQUEST, good.request_id, "somebody-else",
+            good.op, good.op_arg, good.payload,
+        )
+        server.submit_frame(client.client_id, forged)
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        frame = framing.decode_frame(blob)
+        assert frame.kind == framing.ERROR
+        assert "does not match" in frame.error_message
+        assert server.drain() == 0
+
+    def test_empty_client_id_accepted(self, serving_context, tenant, make_client):
+        """An empty wire client_id defers to the connection's session."""
+        server = EncryptedComputeServer(serving_context)
+        client = make_client()
+        client.connect(server)
+        good = framing.decode_frame(client.request_bytes("double", [1.0]))
+        anonymous = framing.Frame(
+            framing.REQUEST, good.request_id, "", good.op, good.op_arg, good.payload
+        )
+        server.submit_frame(client.client_id, anonymous)
+        assert server.drain() == 1
+
+
+class TestCheapRejection:
+    def test_backpressure_rejects_before_payload_decode(
+        self, serving_context, tenant, make_client
+    ):
+        """At the cap, even an undecodable payload is rejected as BUSY --
+        proof the server never paid for deserialization."""
+        server = EncryptedComputeServer(serving_context, max_pending=1)
+        client = make_client()
+        client.connect(server)
+        server.receive(client.client_id, client.request_bytes("double", [1.0]))
+        garbage = framing.encode_frame(
+            framing.REQUEST, 7, client.client_id, op="double",
+            payload=b"\xff" * 10,  # would raise if deserialized
+        )
+        server.receive(client.client_id, garbage)
+        (blob,) = server.sessions.get(client.client_id).take_outbox()
+        frame = framing.decode_frame(blob)
+        assert frame.kind == framing.ERROR
+        assert "queue full" in frame.error_message
+        assert server.report.rejected_requests == 1
