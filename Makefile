@@ -7,6 +7,7 @@
 #   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
 #   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
 #   make bench-serving  serving-layer gate (dynamic batching vs sequential service)
+#   make bench-hoisting hoisted-rotation gate (decompose-once vs per-rotation keyswitch)
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
@@ -14,7 +15,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving vectors
+.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-hoisting vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +38,10 @@ bench-batch:
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py -q -s
+
+bench-hoisting:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_keyswitch_hoisting.py -q -s
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_keyswitch_hoisting.py -q -s
 
 vectors:
 	$(PYTHON) tests/vectors/regenerate.py

@@ -96,7 +96,7 @@ def _measure(prime_bits: int = 30):
     return out
 
 
-def test_backend_speedup_table2_rings(benchmark, emit):
+def test_backend_speedup_table2_rings(benchmark, emit, emit_json):
     results = benchmark.pedantic(_measure, rounds=1, iterations=1)
     rows = []
     for r in results:
@@ -126,6 +126,15 @@ def test_backend_speedup_table2_rings(benchmark, emit):
         ),
     )
     for r in results:
+        t_ref, t_np = r["ntt"]
+        emit_json(
+            op="ntt_forward",
+            n=r["n"],
+            backend="numpy",
+            speedup=round(t_ref / t_np, 2),
+            gate=MIN_SPEEDUP_AT_16384 if r["n"] == 16384 else None,
+            bit_exact=r["exact"],
+        )
         assert r["exact"], f"numpy backend diverged from reference at n={r['n']}"
     biggest = results[-1]
     assert biggest["n"] == 16384

@@ -117,7 +117,7 @@ def _measure_op(context, tenant, op, op_arg, repeats=3):
     }
 
 
-def test_serving_throughput_gate(benchmark, emit):
+def test_serving_throughput_gate(benchmark, emit, emit_json):
     with use_backend("numpy"):
         context = CkksContext(toy_parameters(n=N, k=K, prime_bits=30))
         tenant = SyntheticTenant(context, seed=2020)
@@ -160,6 +160,18 @@ def test_serving_throughput_gate(benchmark, emit):
             "batch, execute, serialize) measured.",
         ),
     )
+
+    emit_json(
+        op=GATED_OP[0],
+        n=N,
+        backend="numpy",
+        speedup=round(gated["speedup"], 3),
+        gate=MIN_SERVING_SPEEDUP,
+    )
+    for op, m in reported.items():
+        emit_json(
+            op=op, n=N, backend="numpy", speedup=round(m["speedup"], 3), gate=None
+        )
 
     # --- the gate ---------------------------------------------------------
     assert gated["speedup"] >= MIN_SERVING_SPEEDUP, (

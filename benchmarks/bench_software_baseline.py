@@ -78,13 +78,20 @@ def test_cost_structure_matches_paper_shape(benchmark, stack, emit):
     target = Sampler(7).uniform_residues(ctx.n, ctx.data_basis.moduli)
 
     def measure():
+        from repro.ckks.backend import use_backend
+
         t0 = time.perf_counter()
         for _ in range(4):
             tables.forward(poly)
         t_ntt = (time.perf_counter() - t0) / 4
-        t0 = time.perf_counter()
-        stack["evaluator"].keyswitch_polynomial(target, stack["relin"])
-        t_ks = time.perf_counter() - t0
+        # the numerator is the *pure-Python* baseline, like the NTT in
+        # the denominator -- under the vectorized backend the stacked
+        # key-switch fast path no longer pays ~one reference-NTT per
+        # transform, which is exactly the structure this ratio checks
+        with use_backend("reference"):
+            t0 = time.perf_counter()
+            stack["evaluator"].keyswitch_polynomial(target, stack["relin"])
+            t_ks = time.perf_counter() - t0
         return t_ks / t_ntt
 
     ratio = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -123,8 +123,11 @@ def use_backend(backend: Union[PolynomialBackend, str]):
         _active = previous
 
 
+from repro.ckks.backend.counting import CountingBackend  # noqa: E402
+
 __all__ = [
     "BACKEND_ENV_VAR",
+    "CountingBackend",
     "PolynomialBackend",
     "ReferenceBackend",
     "available_backends",

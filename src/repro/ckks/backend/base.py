@@ -93,6 +93,19 @@ class PolynomialBackend(abc.ABC):
     #: Registry / selection name (e.g. ``"reference"``, ``"numpy"``).
     name: str = "abstract"
 
+    @property
+    def cache_token(self) -> str:
+        """Identity of this backend's *native data representation*.
+
+        Caches of backend-native operands (e.g. the stacked key columns
+        on :class:`repro.ckks.keys.KswitchKey`) key on this, so two
+        backend instances may share cached representations exactly when
+        their native forms are interchangeable.  Same-class instances
+        share a token by default; delegating wrappers must derive theirs
+        from the wrapped backend's token.
+        """
+        return self.name
+
     # ------------------------------------------------------------------
     # negacyclic NTT (Algorithms 3 and 4)
     # ------------------------------------------------------------------
@@ -253,6 +266,27 @@ class PolynomialBackend(abc.ABC):
             )
         ]
 
+    def dyadic_stack_reduce(
+        self, modulus: Modulus, x: RowStack, y: RowStack
+    ) -> Sequence[int]:
+        """``sum_i x[i] * y[i] mod p`` over matching stacks -> one row.
+
+        The fused inner product of the key-switching fast path: one call
+        accumulates every gadget digit's dyadic product against one key
+        column (Algorithm 7 lines 11-12 / 16-17 for all ``i`` at once),
+        instead of a Python-level MAC per digit.
+        """
+        if len(x) != len(y):
+            raise ValueError(
+                f"stack length mismatch: {len(x)} vs {len(y)} rows"
+            )
+        if not len(x):
+            raise ValueError("cannot reduce an empty stack")
+        acc = self.dyadic_mul(modulus, x[0], y[0])
+        for a, b in zip(x[1:], y[1:]):
+            acc = self.dyadic_mac(modulus, acc, a, b)
+        return acc
+
     def scalar_mul_stack(self, modulus: Modulus, a: RowStack, scalar: int) -> RowStack:
         """Row-wise ``a * scalar mod p`` with a reduced scalar."""
         return [self.scalar_mul(modulus, x, scalar) for x in a]
@@ -283,6 +317,18 @@ class PolynomialBackend(abc.ABC):
                 new_row[dest] = (p - v) if (flip and v) else v
             out.append(new_row)
         return out
+
+    def permute_ntt_stack(
+        self, stack: RowStack, table: Sequence[int]
+    ) -> RowStack:
+        """Gather-permute every row: ``out_row[i] = row[table[i]]``.
+
+        The NTT-domain Galois automorphism (see
+        :meth:`repro.ckks.context.CkksContext.galois_map_ntt`): a sign-free
+        permutation, so -- unlike :meth:`apply_galois_stack` -- it needs no
+        modulus and rows under *different* RNS moduli may share one call.
+        """
+        return [[row[s] for s in table] for row in stack]
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

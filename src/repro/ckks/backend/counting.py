@@ -1,0 +1,153 @@
+"""Transform-count instrumentation: a delegating backend wrapper.
+
+The hoisting fast path's whole claim is a *transform budget*: a hoisted
+matvec must pay the Algorithm-7 fan-out (``O(L·(L+1))`` NTTs) once,
+not once per rotation.  :class:`CountingBackend` makes that budget an
+assertable quantity: it wraps any real backend, forwards every kernel
+unchanged (results stay bit-identical to the inner backend), and counts
+the *rows* each kernel class processed -- one stacked call over ``R``
+rows counts ``R``, so counts are representation-independent and
+identical across backends.
+
+Usage::
+
+    be = CountingBackend("numpy")
+    ctx = CkksContext(params, backend=be)
+    ... run the operation under test ...
+    assert be.counts["ntt_forward"] == expected_forward_rows
+
+Counted keys: ``ntt_forward`` / ``ntt_inverse`` (transform rows),
+``galois_permute`` (coefficient-domain signed permutations),
+``ntt_permute`` (NTT-domain gather permutations), ``dyadic_mul`` /
+``dyadic_mac`` (DyadMult rows, the stack-reduce counting one mul plus
+``R - 1`` MAC rows).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from repro.ckks.backend.base import PolynomialBackend, RowStack
+from repro.ckks.modarith import Modulus
+from repro.ckks.ntt import NTTTables
+
+
+class CountingBackend(PolynomialBackend):
+    """Delegates every kernel to an inner backend, tallying row counts."""
+
+    name = "counting"
+
+    def __init__(self, inner=None):
+        from repro.ckks.backend import resolve_backend
+
+        self.inner = resolve_backend(inner)
+        self.counts: Counter = Counter()
+
+    @property
+    def cache_token(self) -> str:
+        """Native representations are the inner backend's, so cached
+        operands are shareable exactly with that inner backend -- and
+        not with a counting wrapper around a *different* inner."""
+        return f"counting:{self.inner.cache_token}"
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    @property
+    def transform_rows(self) -> int:
+        """Total NTT + INTT rows -- the hardware-visible transform budget."""
+        return self.counts["ntt_forward"] + self.counts["ntt_inverse"]
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def ntt_forward(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        self.counts["ntt_forward"] += 1
+        return self.inner.ntt_forward(tables, row)
+
+    def ntt_inverse(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
+        self.counts["ntt_inverse"] += 1
+        return self.inner.ntt_inverse(tables, row)
+
+    def ntt_forward_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        self.counts["ntt_forward"] += len(stack)
+        return self.inner.ntt_forward_stack(tables, stack)
+
+    def ntt_inverse_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
+        self.counts["ntt_inverse"] += len(stack)
+        return self.inner.ntt_inverse_stack(tables, stack)
+
+    # ------------------------------------------------------------------
+    # dyadic / scalar arithmetic
+    # ------------------------------------------------------------------
+    def add(self, modulus, a, b):
+        return self.inner.add(modulus, a, b)
+
+    def sub(self, modulus, a, b):
+        return self.inner.sub(modulus, a, b)
+
+    def negate(self, modulus, a):
+        return self.inner.negate(modulus, a)
+
+    def dyadic_mul(self, modulus, a, b):
+        self.counts["dyadic_mul"] += 1
+        return self.inner.dyadic_mul(modulus, a, b)
+
+    def dyadic_mac(self, modulus, acc, x, y):
+        self.counts["dyadic_mac"] += 1
+        return self.inner.dyadic_mac(modulus, acc, x, y)
+
+    def scalar_mul(self, modulus, a, scalar):
+        return self.inner.scalar_mul(modulus, a, scalar)
+
+    def scalar_mac(self, modulus, acc, a, scalar):
+        return self.inner.scalar_mac(modulus, acc, a, scalar)
+
+    def reduce_mod(self, modulus, row):
+        return self.inner.reduce_mod(modulus, row)
+
+    # ------------------------------------------------------------------
+    # stacked kernels (counts in rows, then straight delegation)
+    # ------------------------------------------------------------------
+    def native_stack(self, stack: RowStack) -> RowStack:
+        return self.inner.native_stack(stack)
+
+    def add_stack(self, modulus, a, b):
+        return self.inner.add_stack(modulus, a, b)
+
+    def sub_stack(self, modulus, a, b):
+        return self.inner.sub_stack(modulus, a, b)
+
+    def negate_stack(self, modulus, a):
+        return self.inner.negate_stack(modulus, a)
+
+    def dyadic_mul_stack(self, modulus, a, b):
+        self.counts["dyadic_mul"] += len(a)
+        return self.inner.dyadic_mul_stack(modulus, a, b)
+
+    def dyadic_mac_stack(self, modulus, acc, x, y):
+        self.counts["dyadic_mac"] += len(acc)
+        return self.inner.dyadic_mac_stack(modulus, acc, x, y)
+
+    def dyadic_stack_reduce(self, modulus, x, y):
+        self.counts["dyadic_mul"] += 1
+        self.counts["dyadic_mac"] += max(0, len(x) - 1)
+        return self.inner.dyadic_stack_reduce(modulus, x, y)
+
+    def scalar_mul_stack(self, modulus, a, scalar):
+        return self.inner.scalar_mul_stack(modulus, a, scalar)
+
+    def reduce_mod_stack(self, modulus, stack):
+        return self.inner.reduce_mod_stack(modulus, stack)
+
+    def apply_galois_stack(self, modulus, stack, mapping):
+        self.counts["galois_permute"] += len(stack)
+        return self.inner.apply_galois_stack(modulus, stack, mapping)
+
+    def permute_ntt_stack(self, stack, table):
+        self.counts["ntt_permute"] += len(stack)
+        return self.inner.permute_ntt_stack(stack, table)
+
+    def __repr__(self) -> str:
+        return f"<CountingBackend inner={self.inner!r} counts={dict(self.counts)}>"

@@ -439,6 +439,20 @@ class NumpyBackend(PolynomialBackend):
         prod = _mulmod(self._operand(x, len(arr)), self._operand(y, len(arr)), p)
         return _cond_sub(arr + prod, p)
 
+    def dyadic_stack_reduce(self, modulus: Modulus, x: RowStack, y: RowStack):
+        if not self.supports(modulus) or not len(x):
+            return super().dyadic_stack_reduce(modulus, x, y)
+        if len(x) != len(y):
+            raise ValueError(
+                f"stack length mismatch: {len(x)} vs {len(y)} rows"
+            )
+        p = modulus.value
+        prod = _mulmod(self._stack(x), self._stack(y), p)
+        acc = prod[0]
+        for row in prod[1:]:
+            acc = _cond_sub(acc + row, p)
+        return acc
+
     def scalar_mul_stack(self, modulus: Modulus, a: RowStack, scalar: int) -> RowStack:
         if not self.supports(modulus) or not len(a):
             return super().scalar_mul_stack(modulus, a, scalar)
@@ -469,3 +483,14 @@ class NumpyBackend(PolynomialBackend):
         out = np.empty_like(vals)
         out[:, dest] = vals
         return out
+
+    def permute_ntt_stack(self, stack: RowStack, table: Sequence[int]) -> RowStack:
+        if not len(stack):
+            return super().permute_ntt_stack(stack, table)
+        try:
+            # no arithmetic happens, so any uint64-representable rows
+            # qualify regardless of the word-size envelope
+            arr = self._stack(stack)
+        except (OverflowError, ValueError):
+            return super().permute_ntt_stack(stack, table)
+        return arr[:, np.asarray(table, dtype=np.intp)]

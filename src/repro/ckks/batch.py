@@ -35,7 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ckks.backend.base import RowStack, canonical_stack
 from repro.ckks.context import CkksContext
-from repro.ckks.evaluator import check_scales, rows_for
+from repro.ckks.evaluator import check_scales
 from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
 from repro.ckks.modarith import Modulus
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
@@ -358,8 +358,7 @@ class BatchEvaluator:
         a = be.ntt_inverse_stack(ctx.tables(last_mod), comp[-1])
         out = []
         for i, m in enumerate(moduli[:-1]):
-            p = m.value
-            inv_last = pow(last_mod.value % p, -1, p)
+            inv_last = ctx.rescale_inverse(last_mod, m)
             r_ntt = be.ntt_forward_stack(ctx.tables(m), be.reduce_mod_stack(m, a))
             diff = be.sub_stack(m, comp[i], r_ntt)
             out.append(be.scalar_mul_stack(m, diff, inv_last))
@@ -389,6 +388,83 @@ class BatchEvaluator:
     # ------------------------------------------------------------------
     # key switching (Algorithm 7, batched)
     # ------------------------------------------------------------------
+    def _decompose_stacks(
+        self, target: List[RowStack], moduli: Sequence[Modulus]
+    ) -> Tuple[List[Modulus], List[List[RowStack]]]:
+        """Batched Algorithm-7 phase 1: the RNS gadget decomposition.
+
+        ``target[i]`` is the ``(N, n)`` row-stack of the switched
+        polynomial under data modulus ``i``.  Returns the extended basis
+        and ``digits[j][i]`` -- digit ``i``'s batch stack fanned out to
+        extended modulus ``j`` -- with the fan-out for each target
+        modulus executed as **one** stacked forward NTT over all
+        ``(digit, batch element)`` rows at once, mirroring the scalar
+        :meth:`repro.ckks.evaluator.Evaluator.decompose`.
+        """
+        ctx = self.context
+        be = ctx.backend
+        data_moduli = list(moduli)
+        level = len(data_moduli)
+        ext_moduli = data_moduli + [ctx.special_modulus]
+        coeff = [
+            be.ntt_inverse_stack(ctx.tables(m), target[i])
+            for i, m in enumerate(data_moduli)
+        ]
+        count = len(target[0])
+        digits: List[List[RowStack]] = []
+        for j, m_j in enumerate(ext_moduli):
+            pass_idx = j if j < level else None  # self-row reuse (line 9)
+            pieces = [i for i in range(level) if i != pass_idx]
+            per_digit: List[Optional[RowStack]] = [None] * level
+            if pieces:
+                rows: List = []
+                for i in pieces:
+                    rows.extend(coeff[i])
+                fanned = be.ntt_forward_stack(
+                    ctx.tables(m_j),
+                    be.reduce_mod_stack(m_j, be.native_stack(rows)),
+                )
+                for idx, i in enumerate(pieces):
+                    per_digit[i] = fanned[idx * count : (idx + 1) * count]
+            if pass_idx is not None:
+                per_digit[pass_idx] = target[pass_idx]
+            digits.append(per_digit)
+        return ext_moduli, digits
+
+    def _apply_keyswitch_stacks(
+        self,
+        digits: List[List[RowStack]],
+        ext_moduli: Sequence[Modulus],
+        ksk: KswitchKey,
+    ) -> Tuple[List[RowStack], List[RowStack]]:
+        """Batched Algorithm-7 phase 2: dyadic MACs + Modulus Switch.
+
+        The key arrives pre-stacked from :meth:`KswitchKey.stacked_columns`
+        (one native lift per key, cached); each key row broadcasts across
+        the batch, which is exactly how the hardware shares one key
+        between the pipelined ciphertexts.
+        """
+        be = self.context.backend
+        col0, col1 = ksk.stacked_columns(ext_moduli, be)
+        acc0: List[Optional[RowStack]] = []
+        acc1: List[Optional[RowStack]] = []
+        for j, m_j in enumerate(ext_moduli):
+            a0: Optional[RowStack] = None
+            a1: Optional[RowStack] = None
+            for i, b_ntt in enumerate(digits[j]):
+                if a0 is None:
+                    a0 = be.dyadic_mul_stack(m_j, b_ntt, col0[j][i])
+                    a1 = be.dyadic_mul_stack(m_j, b_ntt, col1[j][i])
+                else:
+                    a0 = be.dyadic_mac_stack(m_j, a0, b_ntt, col0[j][i])
+                    a1 = be.dyadic_mac_stack(m_j, a1, b_ntt, col1[j][i])
+            acc0.append(a0)
+            acc1.append(a1)
+        return (
+            self._floor_divide_last_stack(acc0, ext_moduli),
+            self._floor_divide_last_stack(acc1, ext_moduli),
+        )
+
     def keyswitch_stack(
         self,
         target: List[RowStack],
@@ -397,42 +473,12 @@ class BatchEvaluator:
     ) -> Tuple[List[RowStack], List[RowStack]]:
         """Batched Algorithm 7 core over a stack of NTT-form polynomials.
 
-        ``target[i]`` is the row-stack of the switched polynomial under
-        data modulus ``i``.  The structure is the scalar dataflow with
-        every row replaced by a stack; the key rows broadcast across the
-        batch, which is exactly how the hardware shares one key between
-        the pipelined ciphertexts.
+        The scalar two-phase dataflow with every row replaced by a batch
+        stack: :meth:`_decompose_stacks` then
+        :meth:`_apply_keyswitch_stacks`.
         """
-        ctx = self.context
-        be = ctx.backend
-        data_moduli = list(moduli)
-        ext_moduli = data_moduli + [ctx.special_modulus]
-        # the first digit's contribution initializes the accumulators (a
-        # multiply, not a MAC against zero stacks)
-        acc0: List[Optional[RowStack]] = [None] * len(ext_moduli)
-        acc1: List[Optional[RowStack]] = [None] * len(ext_moduli)
-        for i, p_i in enumerate(data_moduli):
-            a = be.ntt_inverse_stack(ctx.tables(p_i), target[i])
-            d0, d1 = ksk.digit(i)
-            d0_rows = rows_for(d0, ext_moduli)
-            d1_rows = rows_for(d1, ext_moduli)
-            for j, m_j in enumerate(ext_moduli):
-                if m_j.value == p_i.value:
-                    b_ntt = target[i]  # already in NTT form
-                else:
-                    b_ntt = be.ntt_forward_stack(
-                        ctx.tables(m_j), be.reduce_mod_stack(m_j, a)
-                    )
-                if acc0[j] is None:
-                    acc0[j] = be.dyadic_mul_stack(m_j, b_ntt, d0_rows[j])
-                    acc1[j] = be.dyadic_mul_stack(m_j, b_ntt, d1_rows[j])
-                else:
-                    acc0[j] = be.dyadic_mac_stack(m_j, acc0[j], b_ntt, d0_rows[j])
-                    acc1[j] = be.dyadic_mac_stack(m_j, acc1[j], b_ntt, d1_rows[j])
-        return (
-            self._floor_divide_last_stack(acc0, ext_moduli),
-            self._floor_divide_last_stack(acc1, ext_moduli),
-        )
+        ext_moduli, digits = self._decompose_stacks(target, moduli)
+        return self._apply_keyswitch_stacks(digits, ext_moduli, ksk)
 
     def relinearize(self, batch: CiphertextBatch, relin_key: RelinKey) -> CiphertextBatch:
         """Batched CKKS.Relin: size-3 -> size-2 for every element at once."""
@@ -466,38 +512,39 @@ class BatchEvaluator:
     # ------------------------------------------------------------------
     # rotation / conjugation (batched)
     # ------------------------------------------------------------------
-    def _apply_galois_stacks(
-        self, batch: CiphertextBatch, galois_elt: int
-    ) -> List[List[RowStack]]:
-        """Permute every row of every stack by the automorphism map."""
-        ctx = self.context
-        be = ctx.backend
-        self._lift(batch)
-        mapping = ctx.galois_map(galois_elt)
-        out = []
-        for comp in batch.stacks:
-            comp_out = []
-            for i, m in enumerate(batch.moduli):
-                coeff = be.ntt_inverse_stack(ctx.tables(m), comp[i])
-                permuted = be.apply_galois_stack(m, coeff, mapping)
-                comp_out.append(be.ntt_forward_stack(ctx.tables(m), permuted))
-            out.append(comp_out)
-        return out
-
     def apply_galois(
         self, batch: CiphertextBatch, galois_elt: int, key: GaloisKey
     ) -> CiphertextBatch:
-        """Batched automorphism + key switch back to ``s`` (size-2 only)."""
+        """Batched automorphism + key switch back to ``s`` (size-2 only).
+
+        The batched mirror of the scalar NTT-domain rotation dataflow:
+        decompose ``c1``'s batch stacks, gather-permute the digits and
+        ``c0`` in the NTT domain (no INTT -> signed-permute -> NTT round
+        trip per element), then the stacked MACs and Modulus Switch --
+        bit-identical per element to
+        :meth:`repro.ckks.evaluator.Evaluator.apply_galois`.
+        """
         if batch.size != 2:
             raise ValueError("relinearize before applying Galois automorphisms")
         if key.galois_elt != galois_elt:
             raise ValueError("Galois key does not match the requested element")
-        be = self.context.backend
-        rotated = self._apply_galois_stacks(batch, galois_elt)
-        f0, f1 = self.keyswitch_stack(rotated[1], batch.moduli, key)
+        if not batch.is_ntt:
+            raise ValueError("ciphertexts are kept in NTT form")
+        ctx = self.context
+        be = ctx.backend
+        self._lift(batch)
+        ext_moduli, digits = self._decompose_stacks(batch.stacks[1], batch.moduli)
+        table = ctx.galois_map_ntt(galois_elt)
+        permuted = [
+            [be.permute_ntt_stack(d, table) for d in per_modulus]
+            for per_modulus in digits
+        ]
+        f0, f1 = self._apply_keyswitch_stacks(permuted, ext_moduli, key)
         stacks = [
             [
-                be.add_stack(m, rotated[0][i], f0[i])
+                be.add_stack(
+                    m, be.permute_ntt_stack(batch.stacks[0][i], table), f0[i]
+                )
                 for i, m in enumerate(batch.moduli)
             ],
             f1,

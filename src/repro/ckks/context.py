@@ -31,8 +31,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ckks.backend import PolynomialBackend, get_backend, resolve_backend
+from repro.ckks.backend.base import canonical_stack
 from repro.ckks.modarith import HEAX_WORD_BITS, Modulus
-from repro.ckks.ntt import NTTTables
+from repro.ckks.ntt import NTTTables, bit_reverse
 from repro.ckks.poly import RnsPolynomial
 from repro.ckks.primes import make_modulus_chain
 from repro.ckks.rns import RnsBasis
@@ -167,6 +168,19 @@ class CkksContext:
             m.value: NTTTables(params.n, m) for m in chain
         }
         self._galois_cache: Dict[int, List[Tuple[int, bool]]] = {}
+        self._galois_ntt_cache: Dict[int, List[int]] = {}
+        #: inverse of each chain modulus against every other chain modulus,
+        #: ``_mod_inverses[last][p] = (last mod p)^-1 mod p`` -- the rescale
+        #: and Modulus-Switch flooring constants (Algorithm 6), precomputed
+        #: once instead of a ``pow(..., -1, p)`` per flooring call.
+        self._mod_inverses: Dict[int, Dict[int, int]] = {
+            last.value: {
+                m.value: pow(last.value % m.value, -1, m.value)
+                for m in chain
+                if m.value != last.value
+            }
+            for last in chain
+        }
 
     # ------------------------------------------------------------------
     # basis helpers
@@ -198,6 +212,15 @@ class CkksContext:
 
     def tables(self, modulus: Modulus) -> NTTTables:
         return self._tables[modulus.value]
+
+    def rescale_inverse(self, last: Modulus, modulus: Modulus) -> int:
+        """``(last mod p)^-1 mod p`` for two chain moduli (precomputed).
+
+        The flooring constant of Algorithm 6 / the Modulus-Switch step of
+        Algorithm 7 line 19; every rescale and key switch needs one per
+        remaining prime, so they are computed once at context setup.
+        """
+        return self._mod_inverses[last.value][modulus.value]
 
     # ------------------------------------------------------------------
     # NTT transforms on RNS polynomials
@@ -284,6 +307,57 @@ class CkksContext:
                 row[dest] = (p - v) if (flip and v) else v
             out.append(row)
         return RnsPolynomial(poly.n, poly.moduli, out, is_ntt=False)
+
+    def _galois_map_ntt(self, galois_elt: int) -> List[int]:
+        """The automorphism as an *NTT-domain* gather: ``out[i] = in[src[i]]``.
+
+        The forward NTT's bit-reversed output slot ``i`` holds the
+        evaluation of the polynomial at ``ψ^{2·brv(i)+1}`` (the odd powers
+        of the primitive ``2n``-th root).  ``σ_g: a(X) -> a(X^g)`` maps the
+        evaluation at exponent ``e`` to the input's evaluation at
+        ``e·g mod 2n`` -- still an odd exponent because ``g`` is odd -- so
+        in the NTT domain the automorphism is a pure permutation of the
+        ``n`` values with *no sign corrections*, hence modulus-independent
+        and far cheaper than the INTT -> signed-permute -> NTT round trip.
+        """
+        if galois_elt % 2 == 0 or not 0 < galois_elt < 2 * self.n:
+            raise ValueError("Galois element must be an odd unit mod 2n")
+        cached = self._galois_ntt_cache.get(galois_elt)
+        if cached is not None:
+            return cached
+        n = self.n
+        bits = n.bit_length() - 1
+        two_n = 2 * n
+        table = [
+            bit_reverse(
+                (((2 * bit_reverse(i, bits) + 1) * galois_elt % two_n) - 1) >> 1,
+                bits,
+            )
+            for i in range(n)
+        ]
+        self._galois_ntt_cache[galois_elt] = table
+        return table
+
+    def galois_map_ntt(self, galois_elt: int) -> List[int]:
+        """The NTT-domain gather table for ``g`` (fresh copy, see
+        :meth:`galois_map` for the cache-protection rationale)."""
+        return list(self._galois_map_ntt(galois_elt))
+
+    def apply_galois_ntt(self, poly: RnsPolynomial, galois_elt: int) -> RnsPolynomial:
+        """Apply ``m(X) -> m(X^g)`` directly to an NTT-form polynomial.
+
+        One gather permutation over all residue rows at once (the
+        permutation carries no sign flips, so it is the same for every
+        modulus and the whole RNS polynomial moves in a single stacked
+        backend call).  Bit-identical to
+        ``to_ntt(apply_galois(from_ntt(poly), g))`` without the ``2·L``
+        transforms.
+        """
+        if not poly.is_ntt:
+            raise ValueError("apply_galois_ntt operates on NTT-form polynomials")
+        table = self._galois_map_ntt(galois_elt)
+        rows = self.backend.permute_ntt_stack(poly.residues, table)
+        return RnsPolynomial(poly.n, poly.moduli, canonical_stack(rows), is_ntt=True)
 
     def __repr__(self) -> str:
         return (

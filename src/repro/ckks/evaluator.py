@@ -4,13 +4,28 @@
 * ``multiply``                           -- Algorithm 5 (dyadic, size α+β-1)
 * ``multiply_plain`` / ``add_plain``     -- ciphertext-plaintext variants
 * ``rescale``                            -- Algorithm 6 (RNS flooring)
-* ``keyswitch_polynomial``               -- Algorithm 7 (the KeySwitch core)
+* ``decompose`` / ``apply_keyswitch``    -- Algorithm 7, split in two phases
+* ``keyswitch_polynomial``               -- the two phases fused
 * ``relinearize``                        -- CKKS.Relin (keyswitch of c2)
 * ``rotate`` / ``conjugate``             -- Galois automorphism + KeySwitch
+* ``rotate_hoisted``                     -- decompose once, rotate many
 
 All ciphertext polynomials are kept in RNS + NTT form throughout, exactly
 as in SEAL/HEAX; the only INTT/NTT conversions happen inside KeySwitch and
 rescaling, mirroring the hardware dataflow of Figure 5.
+
+Key switching is a two-phase pipeline.  :meth:`Evaluator.decompose` is
+the expensive half -- the per-digit INTT plus the NTT fan-out to every
+other prime (Figure 5's INTT0/NTT0 layers), executed as *stacked* NTT
+calls per target modulus -- and yields a reusable
+:class:`KeySwitchDigits`.  :meth:`Evaluator.apply_keyswitch` is the
+cheap half: dyadic MACs against a (cached, stacked) key plus the final
+Modulus Switch.  Rotations exploit the split twice over: the Galois
+automorphism of an NTT-form polynomial is a sign-free slot permutation
+(:meth:`CkksContext.apply_galois_ntt`), and because the automorphism
+commutes with RNS decomposition, one decomposition serves *every*
+rotation of the same ciphertext (*hoisting*) -- each extra rotation
+costs only permutations, MACs and the Modulus Switch, never the fan-out.
 
 The per-coefficient inner loops (NTT fan-out, dyadic multiply-accumulate,
 base conversion, flooring) all dispatch to the context's polynomial
@@ -20,10 +35,12 @@ reference kernels or the vectorized numpy ones unchanged.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
+from repro.ckks.backend.base import canonical_stack
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
+from repro.ckks.modarith import Modulus
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
 
 #: Relative tolerance when requiring two operands' scales to match.
@@ -57,6 +74,38 @@ def rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
 
 #: Backward-compatible private alias (pre-batch-layer name).
 _rows_for = rows_for
+
+
+class KeySwitchDigits:
+    """The reusable product of :meth:`Evaluator.decompose`.
+
+    ``stacks[j]`` holds, for extended-basis modulus ``j``, the ``L``
+    gadget-digit rows in NTT form as one backend-native ``(L, n)``
+    row-stack -- exactly the operand layout
+    :meth:`Evaluator.apply_keyswitch` MACs against a stacked key column.
+    The object is immutable by convention: hoisted rotation *permutes
+    into fresh stacks* rather than mutating, so one decomposition can
+    back any number of ``apply_keyswitch`` calls.
+    """
+
+    __slots__ = ("n", "data_moduli", "ext_moduli", "stacks")
+
+    def __init__(
+        self,
+        n: int,
+        data_moduli: Sequence[Modulus],
+        ext_moduli: Sequence[Modulus],
+        stacks: List,
+    ):
+        self.n = n
+        self.data_moduli = list(data_moduli)
+        self.ext_moduli = list(ext_moduli)
+        self.stacks = stacks
+
+    @property
+    def level_count(self) -> int:
+        """Gadget digit count ``L`` (one per data prime at this level)."""
+        return len(self.data_moduli)
 
 
 class Evaluator:
@@ -190,12 +239,49 @@ class Evaluator:
         out_rows = []
         out_moduli = poly.moduli[:-1]
         for i, m in enumerate(out_moduli):
-            p = m.value
-            inv_last = pow(last_mod.value % p, -1, p)
+            inv_last = ctx.rescale_inverse(last_mod, m)
             r_ntt = be.ntt_forward(ctx.tables(m), be.reduce_mod(m, a))
             diff = be.sub(m, poly.residues[i], r_ntt)
             out_rows.append(be.scalar_mul(m, diff, inv_last))
         return RnsPolynomial(poly.n, out_moduli, out_rows, is_ntt=True)
+
+    def _floor_divide_pair(
+        self,
+        rows0: List,
+        rows1: List,
+        moduli: Sequence[Modulus],
+        n: int,
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Algorithm-6 flooring of two same-basis accumulators at once.
+
+        Both key-switch output polynomials flow through the identical
+        Modulus-Switch dataflow, so their per-modulus transforms run as
+        2-row stacked kernels -- half the kernel launches of flooring
+        them one by one, with bit-identical rows.
+        """
+        ctx = self.context
+        be = ctx.backend
+        last_mod = moduli[-1]
+        a = be.ntt_inverse_stack(
+            ctx.tables(last_mod), be.native_stack([rows0[-1], rows1[-1]])
+        )
+        out_moduli = list(moduli[:-1])
+        out0, out1 = [], []
+        for i, m in enumerate(out_moduli):
+            inv_last = ctx.rescale_inverse(last_mod, m)
+            r_ntt = be.ntt_forward_stack(
+                ctx.tables(m), be.reduce_mod_stack(m, a)
+            )
+            diff = be.sub_stack(
+                m, be.native_stack([rows0[i], rows1[i]]), r_ntt
+            )
+            scaled = canonical_stack(be.scalar_mul_stack(m, diff, inv_last))
+            out0.append(scaled[0])
+            out1.append(scaled[1])
+        return (
+            RnsPolynomial(n, out_moduli, out0, is_ntt=True),
+            RnsPolynomial(n, out_moduli, out1, is_ntt=True),
+        )
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """CKKS.Rescale: floor-divide every component by the last prime.
@@ -210,8 +296,77 @@ class Evaluator:
         return Ciphertext(polys, ct.scale / last)
 
     # ------------------------------------------------------------------
-    # key switching (Algorithm 7)
+    # key switching (Algorithm 7, two-phase)
     # ------------------------------------------------------------------
+    def decompose(self, target: RnsPolynomial) -> KeySwitchDigits:
+        """Phase 1 of Algorithm 7: the RNS gadget decomposition.
+
+        For every digit ``i`` (data prime), return to coefficient form
+        (line 3) and fan the digit out to every *other* extended-basis
+        prime (lines 6-7); the ``i == j`` row reuses the NTT-form input
+        (line 9).  The fan-out runs as **one stacked forward NTT per
+        target modulus** -- all digits destined for modulus ``j``
+        transform in a single backend call -- instead of the historical
+        Python-level ``(i, j)`` double loop of single-row transforms.
+
+        The result is key-independent: :meth:`apply_keyswitch` can
+        consume it against any key over the same basis, which is what
+        makes hoisted rotations (and cheap relinearize-vs-rotate reuse)
+        possible.
+        """
+        ctx = self.context
+        be = ctx.backend
+        if not target.is_ntt:
+            raise ValueError("key switching operates on NTT-form input")
+        level = target.level_count
+        data_moduli = list(target.moduli)
+        ext_moduli = data_moduli + [ctx.special_modulus]
+        # line 3, all digits: one INTT per data prime (distinct tables,
+        # so these stay single-row calls)
+        coeff = [
+            be.ntt_inverse(ctx.tables(m), target.residues[i])
+            for i, m in enumerate(data_moduli)
+        ]
+        stacks = []
+        for j, m_j in enumerate(ext_moduli):
+            pass_idx = j if j < level else None  # line 9: self-row reuse
+            rows = [coeff[i] for i in range(level) if i != pass_idx]
+            fanned = (
+                be.ntt_forward_stack(
+                    ctx.tables(m_j), be.reduce_mod_stack(m_j, rows)
+                )
+                if rows
+                else []
+            )
+            full = list(fanned)
+            if pass_idx is not None:
+                full.insert(pass_idx, target.residues[pass_idx])
+            stacks.append(be.native_stack(full))
+        return KeySwitchDigits(target.n, data_moduli, ext_moduli, stacks)
+
+    def apply_keyswitch(
+        self, digits: KeySwitchDigits, ksk: KswitchKey
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Phase 2 of Algorithm 7: dyadic MACs + Modulus Switch.
+
+        One fused ``dyadic_stack_reduce`` per (key column, extended
+        modulus) -- the key arrives pre-stacked and backend-native from
+        :meth:`KswitchKey.stacked_columns` -- followed by the Floor by
+        the special prime (line 19) on both accumulators at once.
+        """
+        be = self.context.backend
+        ext_moduli = digits.ext_moduli
+        col0, col1 = ksk.stacked_columns(ext_moduli, be)
+        acc0 = [
+            be.dyadic_stack_reduce(m, digits.stacks[j], col0[j])
+            for j, m in enumerate(ext_moduli)
+        ]
+        acc1 = [
+            be.dyadic_stack_reduce(m, digits.stacks[j], col1[j])
+            for j, m in enumerate(ext_moduli)
+        ]
+        return self._floor_divide_pair(acc0, acc1, ext_moduli, digits.n)
+
     def keyswitch_polynomial(
         self, target: RnsPolynomial, ksk: KswitchKey
     ) -> Tuple[RnsPolynomial, RnsPolynomial]:
@@ -221,11 +376,25 @@ class Evaluator:
         ciphertext decryptable via ``target * s_old`` becomes decryptable
         under ``s`` after adding ``(f0, f1)``.
 
-        The structure mirrors the hardware dataflow (Figure 5): one INTT
-        per RNS component of the input, a fan-out of NTTs to every other
-        prime (including the special prime), dyadic products against both
-        key columns with accumulation, and a final Modulus-Switch (Floor)
-        by the special prime.
+        The structure mirrors the hardware dataflow (Figure 5) in its
+        two-phase form: :meth:`decompose` (INTT0 + the NTT0 fan-out
+        layer) then :meth:`apply_keyswitch` (DyadMult accumulation and
+        Modulus Switch).  Bit-identical to the historical single-loop
+        formulation, kept below as
+        :meth:`keyswitch_polynomial_unhoisted`.
+        """
+        return self.apply_keyswitch(self.decompose(target), ksk)
+
+    def keyswitch_polynomial_unhoisted(
+        self, target: RnsPolynomial, ksk: KswitchKey
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """The pre-hoisting Algorithm-7 loop: one (digit, modulus) pair
+        per iteration, single-row kernels throughout.
+
+        Kept as the baseline the fast path is benchmarked and
+        differential-tested against
+        (``benchmarks/bench_keyswitch_hoisting.py``); new code should
+        call :meth:`keyswitch_polynomial`.
         """
         ctx = self.context
         be = ctx.backend
@@ -279,6 +448,20 @@ class Evaluator:
     # rotation / conjugation
     # ------------------------------------------------------------------
     def _apply_galois_ct(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
+        """Automorphism of a ciphertext entirely in the NTT domain.
+
+        A sign-free gather permutation per polynomial (see
+        :meth:`CkksContext.apply_galois_ntt`) -- no ``from_ntt``/``to_ntt``
+        round trip, bit-identical to the coefficient-domain path kept in
+        :meth:`_apply_galois_ct_coeff`.
+        """
+        ctx = self.context
+        return Ciphertext(
+            [ctx.apply_galois_ntt(p, galois_elt) for p in ct.polys], ct.scale
+        )
+
+    def _apply_galois_ct_coeff(self, ct: Ciphertext, galois_elt: int) -> Ciphertext:
+        """The pre-hoisting coefficient-domain automorphism (baseline)."""
         ctx = self.context
         polys = []
         for p in ct.polys:
@@ -286,19 +469,54 @@ class Evaluator:
             polys.append(ctx.to_ntt(ctx.apply_galois(coeff, galois_elt)))
         return Ciphertext(polys, ct.scale)
 
+    def _apply_galois_digits(
+        self,
+        ct: Ciphertext,
+        digits: KeySwitchDigits,
+        galois_elt: int,
+        key: GaloisKey,
+    ) -> Ciphertext:
+        """Automorphism + key switch from a pre-decomposed ``c1``.
+
+        ``σ_g`` commutes with the RNS gadget decomposition up to the
+        choice of digit representative: permuting the decomposed digits
+        in the NTT domain yields the *centered* representative of
+        ``σ_g(c1)``'s digits (entries in ``(-p_i, p_i)`` instead of
+        ``[0, p_i)``), which is a valid -- in fact slightly
+        smaller-noise -- gadget decomposition.  This digit-permuting
+        dataflow is therefore the canonical rotation path, and hoisting
+        (reusing ``digits`` across many elements) is bit-identical to
+        single rotations by construction.
+        """
+        ctx = self.context
+        be = ctx.backend
+        table = ctx.galois_map_ntt(galois_elt)
+        permuted = KeySwitchDigits(
+            digits.n,
+            digits.data_moduli,
+            digits.ext_moduli,
+            [be.permute_ntt_stack(s, table) for s in digits.stacks],
+        )
+        f0, f1 = self.apply_keyswitch(permuted, key)
+        c0 = ctx.apply_galois_ntt(ct.polys[0], galois_elt)
+        return Ciphertext([c0.add(f0, backend=be), f1], ct.scale)
+
     def apply_galois(
         self, ct: Ciphertext, galois_elt: int, key: GaloisKey
     ) -> Ciphertext:
-        """Automorphism + key switch back to ``s`` (size-2 input only)."""
+        """Automorphism + key switch back to ``s`` (size-2 input only).
+
+        Runs entirely in the NTT domain: decompose ``c1``, gather-permute
+        the digits and ``c0`` (no ``from_ntt``/``to_ntt`` round trip),
+        then stacked MACs + Modulus Switch.  One rotation is exactly the
+        ``len(steps) == 1`` case of :meth:`rotate_hoisted`.
+        """
         if ct.size != 2:
             raise ValueError("relinearize before applying Galois automorphisms")
         if key.galois_elt != galois_elt:
             raise ValueError("Galois key does not match the requested element")
-        rotated = self._apply_galois_ct(ct, galois_elt)
-        f0, f1 = self.keyswitch_polynomial(rotated.polys[1], key)
-        return Ciphertext(
-            [rotated.polys[0].add(f0, backend=self.context.backend), f1], ct.scale
-        )
+        digits = self.decompose(ct.polys[1])
+        return self._apply_galois_digits(ct, digits, galois_elt, key)
 
     def rotate(
         self, ct: Ciphertext, step: int, galois_keys: GaloisKeySet
@@ -311,4 +529,70 @@ class Evaluator:
         """Complex-conjugate every slot."""
         elt = self.context.conjugation_element
         return self.apply_galois(ct, elt, galois_keys.key_for_element(elt))
+
+    # ------------------------------------------------------------------
+    # hoisted rotations (decompose once, apply many Galois keys)
+    # ------------------------------------------------------------------
+    def apply_galois_hoisted(
+        self,
+        ct: Ciphertext,
+        galois_elts: Iterable[int],
+        galois_keys: GaloisKeySet,
+    ) -> List[Ciphertext]:
+        """Apply several automorphisms to *one* ciphertext, hoisting the
+        key-switch decomposition.
+
+        Because ``σ_g`` commutes with the RNS gadget decomposition (it
+        acts residue-wise and exactly), the digits of ``σ_g(c1)`` are the
+        NTT-domain permutation of the digits of ``c1``.  So the fan-out
+        (:meth:`decompose`, the ``O(L·(L+1))``-transform phase) runs
+        **once**, and every requested element costs only gather
+        permutations, stacked MACs against its Galois key, and the
+        Modulus Switch -- bit-identical to calling :meth:`apply_galois`
+        per element.
+        """
+        if ct.size != 2:
+            raise ValueError("relinearize before applying Galois automorphisms")
+        digits = self.decompose(ct.polys[1])
+        return [
+            self._apply_galois_digits(
+                ct, digits, elt, galois_keys.key_for_element(elt)
+            )
+            for elt in galois_elts
+        ]
+
+    def rotate_hoisted(
+        self, ct: Ciphertext, steps: Iterable[int], galois_keys: GaloisKeySet
+    ) -> List[Ciphertext]:
+        """Rotate one ciphertext by many steps for one decomposition.
+
+        The hoisting fast path for every rotate-heavy composite
+        (``matvec_diagonal`` being the canonical case: ``dim - 1``
+        rotations of the same input).  Results are bit-identical to
+        ``[rotate(ct, s, keys) for s in steps]`` on every backend.
+        """
+        ctx = self.context
+        elts = [ctx.galois_element_for_step(step) for step in steps]
+        return self.apply_galois_hoisted(ct, elts, galois_keys)
+
+    def rotate_unhoisted(
+        self, ct: Ciphertext, step: int, galois_keys: GaloisKeySet
+    ) -> Ciphertext:
+        """The pre-hoisting rotation: coefficient-domain automorphism
+        round trip plus the single-row key-switch loop.
+
+        Baseline for benchmarks and differential tests; production code
+        should use :meth:`rotate` (NTT-domain automorphism, stacked
+        key switch) or :meth:`rotate_hoisted`.
+        """
+        if ct.size != 2:
+            raise ValueError("relinearize before applying Galois automorphisms")
+        elt = self.context.galois_element_for_step(step)
+        key = galois_keys.key_for_element(elt)
+        rotated = self._apply_galois_ct_coeff(ct, elt)
+        f0, f1 = self.keyswitch_polynomial_unhoisted(rotated.polys[1], key)
+        return Ciphertext(
+            [rotated.polys[0].add(f0, backend=self.context.backend), f1],
+            ct.scale,
+        )
 

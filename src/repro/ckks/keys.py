@@ -53,6 +53,9 @@ class KswitchKey:
         if not digits:
             raise ValueError("key-switching key needs at least one digit")
         self.digits = digits
+        #: per-(backend, basis) stacked key columns; keys are immutable
+        #: after generation so entries never need invalidation.
+        self._stacked_cache: Dict[Tuple, Tuple[list, list]] = {}
 
     @property
     def digit_count(self) -> int:
@@ -60,6 +63,48 @@ class KswitchKey:
 
     def digit(self, i: int) -> Tuple[RnsPolynomial, RnsPolynomial]:
         return self.digits[i]
+
+    def stacked_columns(self, ext_moduli, backend) -> Tuple[list, list]:
+        """Both key columns as per-modulus digit stacks, backend-native.
+
+        For the extended basis ``ext_moduli`` (the level's data primes
+        plus the special prime, so ``L = len(ext_moduli) - 1`` gadget
+        digits are in play) returns ``(col0, col1)`` where ``col_c[j]``
+        stacks digit rows ``d_c_0[j] .. d_c_{L-1}[j]`` under modulus
+        ``j`` as one ``(L, n)`` row-stack.  This is the layout the
+        key-switching fast path MACs against in a single
+        ``dyadic_stack_reduce`` per target modulus -- and it is cached
+        per (backend, basis), so the numpy backend's uint64 lift of the
+        whole key happens once, not per operation.
+        """
+        level = len(ext_moduli) - 1
+        if not 1 <= level <= self.digit_count:
+            raise ValueError(
+                f"basis implies {level} digits; key has {self.digit_count}"
+            )
+        cache_key = (
+            # the token names the backend's *native representation*, so
+            # e.g. two NumpyBackend instances share entries while a
+            # wrapper around a different inner backend does not
+            getattr(backend, "cache_token", id(backend)),
+            tuple(m.value for m in ext_moduli),
+        )
+        cached = self._stacked_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        col0, col1 = [], []
+        for m in ext_moduli:
+            rows0, rows1 = [], []
+            for i in range(level):
+                d0, d1 = self.digits[i]
+                row_index = {mm.value: r for r, mm in enumerate(d0.moduli)}
+                rows0.append(d0.residues[row_index[m.value]])
+                rows1.append(d1.residues[row_index[m.value]])
+            col0.append(backend.native_stack(rows0))
+            col1.append(backend.native_stack(rows1))
+        entry = (col0, col1)
+        self._stacked_cache[cache_key] = entry
+        return entry
 
 
 class RelinKey(KswitchKey):

@@ -9,8 +9,10 @@ those compositions with correct level/scale management:
   log-depth reduction that leaves a sum (or inner product) in every
   slot;
 * :meth:`LinearEvaluator.matvec_diagonal` -- the classic diagonal
-  (Halevi-Shoup) encrypted matrix-vector product: ``d`` rotations +
-  plaintext multiplies + additions;
+  (Halevi-Shoup) encrypted matrix-vector product: up to ``d - 1``
+  *hoisted* rotations (one key-switch decomposition shared by all of
+  them -- see :meth:`repro.ckks.evaluator.Evaluator.rotate_hoisted`) +
+  plaintext multiplies + additions, with all-zero diagonals skipped;
 * :meth:`LinearEvaluator.evaluate_polynomial` -- scale-aligned
   evaluation of a real-coefficient polynomial on a ciphertext
   (activation functions such as the degree-3 sigmoid approximation);
@@ -48,12 +50,45 @@ def reduction_steps(width: int) -> List[int]:
 
 
 class LinearEvaluator:
-    """Composite encrypted-linear-algebra operations."""
+    """Composite encrypted-linear-algebra operations.
 
-    def __init__(self, context: CkksContext):
+    ``use_hoisting`` selects the rotation machinery: the default routes
+    every rotation through the NTT-domain fast path
+    (:meth:`Evaluator.rotate` / :meth:`Evaluator.rotate_hoisted`, which
+    hoists the key-switch decomposition across the many
+    same-ciphertext rotations of :meth:`matvec_diagonal`);
+    ``use_hoisting=False`` pins the pre-hoisting coefficient-domain
+    baseline (:meth:`Evaluator.rotate_unhoisted`) -- kept for
+    benchmarks and differential tests.
+    """
+
+    def __init__(self, context: CkksContext, use_hoisting: bool = True):
         self.context = context
         self.encoder = CkksEncoder(context)
         self.evaluator = Evaluator(context)
+        self.use_hoisting = use_hoisting
+
+    def _rotate(
+        self, ct: Ciphertext, step: int, galois_keys: GaloisKeySet
+    ) -> Ciphertext:
+        if self.use_hoisting:
+            return self.evaluator.rotate(ct, step, galois_keys)
+        return self.evaluator.rotate_unhoisted(ct, step, galois_keys)
+
+    def _rotations_of(
+        self, ct: Ciphertext, steps: Sequence[int], galois_keys: GaloisKeySet
+    ) -> Dict[int, Ciphertext]:
+        """All requested rotations of one ciphertext, hoisted when enabled."""
+        if not steps:
+            return {}
+        if self.use_hoisting:
+            return dict(
+                zip(steps, self.evaluator.rotate_hoisted(ct, steps, galois_keys))
+            )
+        return {
+            step: self.evaluator.rotate_unhoisted(ct, step, galois_keys)
+            for step in steps
+        }
 
     # ------------------------------------------------------------------
     # reductions
@@ -66,13 +101,17 @@ class LinearEvaluator:
         After the reduction, slot 0 holds ``sum_{i<width} slot_i``
         (other slots hold partial sums).  ``width`` must be a power of
         two and the slots beyond it must be zero for a clean result.
+
+        Each step rotates the freshly-updated accumulator, so the
+        decomposition cannot be hoisted *across* steps -- but every
+        individual rotation still takes the NTT-domain fast path.
         """
         if width & (width - 1):
             raise ValueError("width must be a power of two")
         acc = ct
         for step in reduction_steps(width):
             acc = self.evaluator.add(
-                acc, self.evaluator.rotate(acc, step, galois_keys)
+                acc, self._rotate(acc, step, galois_keys)
             )
         return acc
 
@@ -108,8 +147,14 @@ class LinearEvaluator:
 
         Halevi-Shoup diagonal encoding: ``y = sum_d diag_d(M) *
         rot(x, d)`` where ``diag_d(M)[i] = M[i][(i + d) mod dim]``.
-        Requires rotation keys for every step ``1..dim-1`` and one
-        multiplicative level.
+        Requires rotation keys for every step of a nonzero diagonal and
+        one multiplicative level.
+
+        This is the canonical hoisting workload -- up to ``dim - 1``
+        rotations of the *same* ciphertext -- so all rotations share a
+        single key-switch decomposition (:meth:`Evaluator.rotate_hoisted`);
+        diagonals are extracted with one vectorized gather and all-zero
+        diagonals are skipped (their term is exactly zero).
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         dim = matrix.shape[0]
@@ -117,15 +162,27 @@ class LinearEvaluator:
             raise ValueError("matrix must be square")
         if dim > self.encoder.slot_count:
             raise ValueError("matrix larger than slot count")
+        # all generalized diagonals in one gather: diags[d, i] = M[i, (i+d) % dim]
+        idx = np.arange(dim)
+        diags = matrix[idx[None, :], (idx[None, :] + idx[:, None]) % dim]
+        # an all-zero diagonal encodes to the exactly-zero plaintext, so
+        # its term (and its rotation) can be skipped bit-identically
+        nonzero = [d for d in range(dim) if diags[d].any()]
+        rotated = self._rotations_of(
+            ct, [d for d in nonzero if d != 0], galois_keys
+        )
+        rotated[0] = ct
         acc = None
-        for d in range(dim):
-            diag = [matrix[i][(i + d) % dim] for i in range(dim)]
-            rotated = ct if d == 0 else self.evaluator.rotate(ct, d, galois_keys)
+        for d in nonzero:
             term = self.evaluator.multiply_plain(
-                rotated,
-                self.encoder.encode(diag, level_count=ct.level_count),
+                rotated[d],
+                self.encoder.encode(list(diags[d]), level_count=ct.level_count),
             )
             acc = term if acc is None else self.evaluator.add(acc, term)
+        if acc is None:  # the zero matrix still burns its level/scale
+            acc = self.evaluator.multiply_plain(
+                ct, self.encoder.encode([0.0] * dim, level_count=ct.level_count)
+            )
         return self.evaluator.rescale(acc)
 
     # ------------------------------------------------------------------

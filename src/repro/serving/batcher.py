@@ -17,6 +17,18 @@ when its oldest request has waited ``max_delay_seconds`` (a latency
 deadline) -- the classic dynamic-batching contract: batch as much as
 the deadline allows, never more than the hardware width.
 
+**Hoist lanes.**  Rotation requests additionally carry a digest of
+their ciphertext payload.  When two pending rotations target the *same*
+ciphertext under the same key material -- the wire-level signature of a
+matvec-style workload, one input rotated by many steps -- step-keyed
+batching is the wrong axis: those requests share a key-switch
+decomposition, not a batch stack.  The batcher therefore migrates them
+into a *hoist lane* keyed by ``(digest, key, shape)`` instead of
+``(op_arg, shape)``; the server executes a hoist-lane flush through
+:meth:`repro.ckks.evaluator.Evaluator.rotate_hoisted` (decompose once,
+apply every requested step).  Rotations of distinct ciphertexts are
+untouched and keep batching across clients by step.
+
 The key-material component of the lane key is the *identity of the key
 object the flush will actually consume* -- captured on the request at
 admission, not looked up from the session at flush time -- rather than
@@ -47,6 +59,9 @@ OP_KEY_KIND = {
 
 SUPPORTED_OPS = tuple(sorted(OP_KEY_KIND))
 
+#: Lane name of hoisted same-ciphertext rotation groups.
+HOISTED_ROTATE = "rotate_hoisted"
+
 #: Homogeneity key:
 #: (op, op_arg, key-material-ref-or-None, n, size, levels, scale, ntt)
 GroupKey = Tuple[str, int, Optional[Tuple[str, int]], int, int, int, float, bool]
@@ -75,6 +90,22 @@ def homogeneity_key(request: PendingRequest) -> GroupKey:
     )
 
 
+def hoist_key(request: PendingRequest):
+    """The hoist lane a rotate request belongs to: same ciphertext bytes,
+    same key material, same shape -- any step."""
+    ct = request.ciphertext
+    return (
+        HOISTED_ROTATE,
+        request.payload_digest,
+        (request.session.key_id, id(request.key)),
+        ct.n,
+        ct.size,
+        ct.level_count,
+        ct.scale,
+        ct.is_ntt,
+    )
+
+
 @dataclass
 class BatchGroup:
     """One flush unit: homogeneous requests sharing op and shape."""
@@ -91,6 +122,11 @@ class BatchGroup:
     def op_arg(self) -> int:
         return self.key[1]
 
+    @property
+    def hoisted(self) -> bool:
+        """True for a hoist lane (one ciphertext, many rotation steps)."""
+        return self.key[0] == HOISTED_ROTATE
+
     def __len__(self) -> int:
         return len(self.requests)
 
@@ -98,14 +134,25 @@ class BatchGroup:
 class DynamicBatcher:
     """Groups pending requests into homogeneous flush units."""
 
-    def __init__(self, max_batch_size: int = 8, max_delay_seconds: float = 2e-3):
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_delay_seconds: float = 2e-3,
+        hoist_rotations: bool = True,
+    ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_delay_seconds < 0:
             raise ValueError("max_delay_seconds must be >= 0")
         self.max_batch_size = max_batch_size
         self.max_delay_seconds = max_delay_seconds
+        self.hoist_rotations = hoist_rotations
         self._groups: Dict[GroupKey, BatchGroup] = {}
+        #: pending digest-bearing rotations currently in *step-keyed*
+        #: lanes, counted per hoist key -- admission consults this so
+        #: the lane scan below only runs when a mate actually exists
+        #: (the common distinct-ciphertext stream stays O(1) per add).
+        self._hoistable: Dict[tuple, int] = {}
 
     @property
     def pending_count(self) -> int:
@@ -115,15 +162,90 @@ class DynamicBatcher:
     def open_lanes(self) -> int:
         return len(self._groups)
 
+    def _forget(self, group: BatchGroup) -> None:
+        """Drop a flushed/removed step-keyed rotate lane's requests from
+        the hoistable index."""
+        if group.op != "rotate":
+            return
+        for r in group.requests:
+            if not r.payload_digest:
+                continue
+            hkey = hoist_key(r)
+            left = self._hoistable.get(hkey, 0) - 1
+            if left > 0:
+                self._hoistable[hkey] = left
+            else:
+                self._hoistable.pop(hkey, None)
+
+    def _extract_hoist_mates(self, hkey) -> Tuple[List[PendingRequest], Optional[float]]:
+        """Pull pending rotate requests matching a hoist key out of their
+        step-keyed lanes (emptied lanes close); returns them with the
+        earliest lane-open time so the migrated requests keep their
+        original deadline."""
+        mates: List[PendingRequest] = []
+        earliest: Optional[float] = None
+        for key in list(self._groups):
+            group = self._groups[key]
+            if group.op != "rotate":
+                continue
+            keep = [r for r in group.requests if hoist_key(r) != hkey]
+            if len(keep) == len(group.requests):
+                continue
+            mates.extend(r for r in group.requests if hoist_key(r) == hkey)
+            earliest = (
+                group.opened_at
+                if earliest is None
+                else min(earliest, group.opened_at)
+            )
+            if keep:
+                group.requests = keep
+            else:
+                del self._groups[key]
+        if mates:
+            left = self._hoistable.get(hkey, 0) - len(mates)
+            if left > 0:
+                self._hoistable[hkey] = left
+            else:
+                self._hoistable.pop(hkey, None)
+        return mates, earliest
+
     def add(self, request: PendingRequest, now: float) -> Optional[BatchGroup]:
-        """Route a request to its lane; return the lane if it just filled."""
+        """Route a request to its lane; return the lane if it just filled.
+
+        A rotate request whose payload digest matches pending rotations
+        (an existing hoist lane, or step-keyed lane-mates that migrate
+        out) lands in a hoist lane instead of its step-keyed lane.
+        """
         key = homogeneity_key(request)
+        hoistable_rotate = (
+            self.hoist_rotations
+            and request.op == "rotate"
+            and bool(request.payload_digest)
+        )
+        if hoistable_rotate:
+            hkey = hoist_key(request)
+            group = self._groups.get(hkey)
+            if group is None and self._hoistable.get(hkey):
+                mates, earliest = self._extract_hoist_mates(hkey)
+                if mates:
+                    group = self._groups[hkey] = BatchGroup(
+                        hkey,
+                        requests=mates,
+                        opened_at=earliest if earliest is not None else now,
+                    )
+            if group is not None:
+                key = hkey
         group = self._groups.get(key)
         if group is None:
             group = self._groups[key] = BatchGroup(key, opened_at=now)
         group.requests.append(request)
+        if hoistable_rotate and key is not hkey:
+            # sitting in a step-keyed lane: a future same-digest arrival
+            # may migrate it into a hoist lane
+            self._hoistable[hkey] = self._hoistable.get(hkey, 0) + 1
         if len(group) >= self.max_batch_size:
             del self._groups[key]
+            self._forget(group)
             return group
         return None
 
@@ -134,10 +256,14 @@ class DynamicBatcher:
             for key, group in self._groups.items()
             if now - group.opened_at >= self.max_delay_seconds
         ]
-        return [self._groups.pop(key) for key in expired]
+        groups = [self._groups.pop(key) for key in expired]
+        for group in groups:
+            self._forget(group)
+        return groups
 
     def flush_all(self) -> List[BatchGroup]:
         """Flush every lane regardless of fill or deadline (drain/shutdown)."""
         groups = list(self._groups.values())
         self._groups.clear()
+        self._hoistable.clear()
         return groups

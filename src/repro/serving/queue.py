@@ -41,6 +41,10 @@ class PendingRequest:
     ciphertext: Ciphertext
     enqueued_at: float
     key: object = None
+    #: digest of the ciphertext's wire payload (rotate requests only);
+    #: lets the batcher recognize *the same ciphertext* rotated by many
+    #: steps and hoist those requests onto one key-switch decomposition.
+    payload_digest: bytes = b""
 
 
 @dataclass

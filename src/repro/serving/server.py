@@ -23,6 +23,7 @@ system, execute the math.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -54,6 +55,7 @@ from repro.system.pcie import PcieModel
 _SCHED_KIND = {
     "square": "keyswitch",
     "rotate": "keyswitch",
+    "rotate_hoisted": "keyswitch",
     "conjugate": "keyswitch",
     "rescale": "ntt",
     "double": "mult",
@@ -250,9 +252,17 @@ class EncryptedComputeServer:
         except ValueError as exc:
             self._respond_error(session, frame.request_id, f"bad payload: {exc}")
             return
+        # rotations carry a payload digest so the batcher can recognize
+        # the same ciphertext rotated by many steps and hoist the whole
+        # set onto one key-switch decomposition
+        digest = (
+            hashlib.sha256(frame.payload).digest()
+            if frame.op == "rotate"
+            else b""
+        )
         request = PendingRequest(
             session, frame.request_id, frame.op, frame.op_arg, ct,
-            self.clock(), key,
+            self.clock(), key, digest,
         )
         try:
             self.queue.submit(request)
@@ -336,10 +346,48 @@ class EncryptedComputeServer:
     def _execute(self, group: BatchGroup) -> int:
         """Run one flush, respond to every member, record accounting."""
         requests = group.requests
+        if group.hoisted:
+            # step-keyed lanes fail independently per step, and migrating
+            # into a hoist lane must not weaken that: a member whose step
+            # has no Galois key is answered with its own error up front,
+            # never taking its servable lane-mates down with it
+            keys = requests[0].key
+            servable = []
+            for request in requests:
+                elt = self.context.galois_element_for_step(request.op_arg)
+                if elt in keys:
+                    servable.append(request)
+                else:
+                    self._respond_error(
+                        request.session,
+                        request.request_id,
+                        f"op failed: no Galois key for element {elt}; "
+                        "generate it first",
+                    )
+            if not servable:
+                return len(requests)
+            rejected = len(requests) - len(servable)
+            requests = servable
+        else:
+            rejected = 0
         batched = len(requests) > 1
         t0 = time.perf_counter()
         try:
-            if batched:
+            if group.hoisted:
+                # a hoist lane: every member carries identical ciphertext
+                # bytes and the same key object by lane construction, so
+                # one decomposition serves every requested step
+                steps = list(dict.fromkeys(r.op_arg for r in requests))
+                rotated = dict(
+                    zip(
+                        steps,
+                        self.evaluator.rotate_hoisted(
+                            requests[0].ciphertext, steps, requests[0].key
+                        ),
+                    )
+                )
+                results = [rotated[r.op_arg] for r in requests]
+            elif batched:
                 batch = CiphertextBatch.join([r.ciphertext for r in requests])
                 results = self._apply_batched(group, batch).split()
             else:
@@ -352,7 +400,7 @@ class EncryptedComputeServer:
                 self._respond_error(
                     request.session, request.request_id, f"op failed: {exc}"
                 )
-            return len(requests)
+            return len(requests) + rejected
         seconds = time.perf_counter() - t0
         now = self.clock()
         for request, result in zip(requests, results):
@@ -361,8 +409,10 @@ class EncryptedComputeServer:
                     framing.RESPONSE,
                     request.request_id,
                     request.session.client_id,
-                    op=group.op,
-                    op_arg=group.op_arg,
+                    # hoist lanes span steps, so the response echoes each
+                    # request's own op/op_arg rather than the lane's
+                    op=request.op,
+                    op_arg=request.op_arg,
                     payload=serialize_ciphertext(result),
                 )
             )
@@ -383,7 +433,7 @@ class EncryptedComputeServer:
                 ScheduledOp(_SCHED_KIND[group.op], in_bytes, out_bytes, seconds),
             )
         )
-        return len(requests)
+        return len(requests) + rejected
 
     # ------------------------------------------------------------------
     # system-model integration

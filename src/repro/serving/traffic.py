@@ -92,6 +92,37 @@ class SyntheticClient:
             payload=serialize_ciphertext(ct),
         )
 
+    def rotation_sweep_bytes(
+        self, values: Sequence[float], steps: Sequence[int]
+    ) -> List[bytes]:
+        """One encrypted vector, one rotate request per step.
+
+        The wire pattern of a client-side matvec (the same ciphertext
+        rotated by many steps): every frame carries the *same* payload
+        bytes, which is what the server's batcher keys its hoist lanes
+        on -- one key-switch decomposition serves the whole sweep.
+        """
+        from repro.ckks.serialization import serialize_ciphertext
+
+        payload = serialize_ciphertext(
+            self.encryptor.encrypt(self.tenant.encoder.encode(list(values)))
+        )
+        frames = []
+        for step in steps:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            frames.append(
+                framing.encode_frame(
+                    framing.REQUEST,
+                    request_id,
+                    self.client_id,
+                    op="rotate",
+                    op_arg=step,
+                    payload=payload,
+                )
+            )
+        return frames
+
 
 def synthetic_traffic(
     tenant: SyntheticTenant,

@@ -44,6 +44,7 @@ from repro.ckks.encoder import CkksEncoder
 from repro.ckks.encryptor import Encryptor
 from repro.ckks.evaluator import Evaluator
 from repro.ckks.keys import KeyGenerator
+from repro.ckks.linear import LinearEvaluator
 
 #: Ops a program may contain; weights bias toward the cheap ones so a
 #: short program still exercises variety without exhausting levels.
@@ -53,13 +54,30 @@ _OP_WEIGHTS = (
     ("mul_relin", 2),
     ("mul_plain", 2),
     ("rotate", 2),
+    ("rotate_hoisted", 2),
     ("conjugate", 1),
     ("negate", 1),
     ("rescale", 1),
+    ("matvec", 1),
 )
 
-#: Rotation step used by ``rotate`` ops (its Galois key is generated).
+#: Rotation step used by ``rotate``/``rotate_hoisted`` ops (its Galois
+#: key is generated).  The hoisted variant must be bit-identical to the
+#: plain one -- they share the digit-permuting dataflow by construction.
 ROTATE_STEP = 1
+
+
+def _matvec_matrix(dim: int, base_seed: int) -> np.ndarray:
+    """The deterministic matvec operand: dim == slot_count so rotations
+    wrap exactly; a few generalized diagonals are zeroed so the
+    skip-zero-diagonal fast path is exercised under the bit-identity
+    microscope."""
+    rng = np.random.default_rng(base_seed)
+    matrix = rng.uniform(-1.0, 1.0, (dim, dim)) / np.sqrt(dim)
+    i = np.arange(dim)
+    for d in (3, dim // 2, dim - 1):
+        matrix[i, (i + d) % dim] = 0.0
+    return matrix
 
 
 def generate_program(
@@ -93,6 +111,15 @@ def generate_program(
             if s + scale_bits - prime_bits < floor:
                 continue
             program += ["mul_relin", "rescale"]
+            s += scale_bits - prime_bits
+            level -= 1
+        elif op == "matvec":
+            # one C-P multiply level plus an internal rescale
+            if level < 2 or s + scale_bits + headroom > prime_bits * level:
+                continue
+            if s + scale_bits - prime_bits < floor:
+                continue
+            program.append("matvec")
             s += scale_bits - prime_bits
             level -= 1
         elif op == "rescale":
@@ -131,8 +158,12 @@ class _ModelState:
             self.values = self.values - operand
         elif op in ("mul_relin", "mul_plain"):
             self.values = self.values * operand
-        elif op == "rotate":
+        elif op in ("rotate", "rotate_hoisted"):
             self.values = np.roll(self.values, -ROTATE_STEP)
+        elif op == "matvec":
+            # dim == slot_count, so the encrypted diagonal method is an
+            # exact cyclic matvec over the slot vector
+            self.values = operand @ self.values
         elif op == "conjugate":
             self.values = np.conj(self.values)
         elif op == "negate":
@@ -166,8 +197,15 @@ def run_program(
         encoder = CkksEncoder(ctx)
         decryptor = Decryptor(ctx, keygen.secret_key)
         relin_key = keygen.relin_key()
-        galois_keys = keygen.galois_keys([ROTATE_STEP], conjugation=True)
         slots = ctx.params.slot_count
+        rotate_steps = [ROTATE_STEP]
+        if "matvec" in program:
+            rotate_steps += list(range(1, slots))
+        galois_keys = keygen.galois_keys(rotate_steps, conjugation=True)
+        matvec_matrix = (
+            _matvec_matrix(slots, base_seed) if "matvec" in program else None
+        )
+        linear = LinearEvaluator(ctx)
 
         init_values = [
             np.array(_operand_values(value_rng, slots)) for _ in range(batch_count)
@@ -215,6 +253,8 @@ def run_program(
                 shared_pt = encoder.encode(
                     list(operand_vals[0]), level_count=level
                 )
+            elif op == "matvec":
+                operand_vals = [matvec_matrix] * batch_count
 
             if batched:
                 if op == "add":
@@ -229,6 +269,19 @@ def run_program(
                     state = bev.multiply_plain(state, shared_pt)
                 elif op == "rotate":
                     state = bev.rotate(state, ROTATE_STEP, galois_keys)
+                elif op == "rotate_hoisted":
+                    # the batched rotation shares the scalar hoisted
+                    # dataflow, so this cross-checks hoisted-vs-batched
+                    state = bev.rotate(state, ROTATE_STEP, galois_keys)
+                elif op == "matvec":
+                    state = _join(
+                        [
+                            linear.matvec_diagonal(
+                                matvec_matrix, c, galois_keys
+                            )
+                            for c in state.split()
+                        ]
+                    )
                 elif op == "conjugate":
                     state = bev.conjugate(state, galois_keys)
                 elif op == "negate":
@@ -250,6 +303,16 @@ def run_program(
                 elif op == "rotate":
                     state = [
                         ev.rotate(c, ROTATE_STEP, galois_keys) for c in state
+                    ]
+                elif op == "rotate_hoisted":
+                    state = [
+                        ev.rotate_hoisted(c, [ROTATE_STEP], galois_keys)[0]
+                        for c in state
+                    ]
+                elif op == "matvec":
+                    state = [
+                        linear.matvec_diagonal(matvec_matrix, c, galois_keys)
+                        for c in state
                     ]
                 elif op == "conjugate":
                     state = [ev.conjugate(c, galois_keys) for c in state]

@@ -140,6 +140,10 @@ class TestRegistry:
                 calls.add("dyadic_mac")
                 return super().dyadic_mac(modulus, acc, x, y)
 
+            def dyadic_stack_reduce(self, modulus, x, y):
+                calls.add("dyadic_stack_reduce")
+                return super().dyadic_stack_reduce(modulus, x, y)
+
             def add(self, modulus, a, b):
                 calls.add("add")
                 return super().add(modulus, a, b)
@@ -173,7 +177,7 @@ class TestRegistry:
             "ntt_forward",
             "ntt_inverse",
             "dyadic_mul",
-            "dyadic_mac",
+            "dyadic_stack_reduce",
             "add",
             "scalar_mul",
             "scalar_mac",

@@ -44,3 +44,61 @@ def test_program_generator_is_deterministic_and_feasible():
     assert len(program) == 8
     # a generated program never rescales more often than the chain depth
     assert program.count("rescale") <= 2
+
+
+def test_hoisted_rotation_program():
+    """Hoisted vs plain vs batched rotations, interleaved with other ops."""
+    program = [
+        "rotate_hoisted",
+        "add",
+        "rotate",
+        "rotate_hoisted",
+        "negate",
+        "conjugate",
+    ]
+    assert_differential(program, base_seed=404)
+
+
+def test_matvec_program_all_modes_bit_identical():
+    """The hoisting showcase op under the four-way bit-identity microscope
+    (zero diagonals included -- the skip path must also be bit-exact)."""
+    assert_differential(["matvec", "add"], base_seed=505)
+
+
+def test_matvec_after_depth_consumption():
+    """matvec at a lower level (keys generated at the top level restrict)."""
+    assert_differential(
+        ["mul_relin", "rescale", "matvec"], k=4, base_seed=606, atol=0.1
+    )
+
+
+def test_hoisted_rotation_at_last_level():
+    """Work down to a single RNS component (scale kept alive by C-P
+    multiplies), then rotate: the hoisted decomposition degenerates to
+    one digit with an empty fan-out."""
+    assert_differential(
+        [
+            "mul_plain",
+            "rescale",
+            "mul_plain",
+            "rescale",
+            "rotate_hoisted",
+            "rotate",
+        ],
+        base_seed=707,
+        atol=0.35,  # |slots| up to ~1 per operand; three multiplies compound
+    )
+
+
+def test_hoisted_ops_with_single_element_batch():
+    """batch-of-1: the degenerate batch through the hoisted dataflow."""
+    assert_differential(
+        ["rotate_hoisted", "matvec"], batch_count=1, base_seed=808
+    )
+
+
+def test_generator_emits_hoisted_and_matvec_ops():
+    programs = [generate_program(seed, length=12, k=4) for seed in range(20)]
+    flat = [op for program in programs for op in program]
+    assert "rotate_hoisted" in flat
+    assert "matvec" in flat

@@ -133,3 +133,48 @@ class TestPipelineTimeline:
         bufs = sim.buffer_requirements()
         assert bufs["f1_input_poly_buffers"] == 4
         assert bufs["f2_dyad_output_buffers"] == 15
+
+
+class TestHoistedTiming:
+    """The decompose-once model behind Evaluator.rotate_hoisted."""
+
+    def test_single_rotation_equals_naive(self, sim):
+        t = sim.hoisted_timing(1)
+        assert t["hoisted_cycles_per_rotation"] == pytest.approx(
+            t["naive_cycles_per_rotation"]
+        )
+        assert t["speedup"] == pytest.approx(1.0)
+
+    def test_per_rotation_cost_decreases_with_fanout_amortized(self, sim):
+        t1 = sim.hoisted_timing(1)
+        t8 = sim.hoisted_timing(8)
+        assert (
+            t8["hoisted_cycles_per_rotation"] < t1["hoisted_cycles_per_rotation"]
+        )
+        assert t8["speedup"] > 1.0
+        # amortization saturates at naive / apply-only
+        limit = t8["naive_cycles_per_rotation"] / t8["apply_cycles_per_rotation"]
+        assert t8["speedup"] < limit
+        assert sim.hoisted_timing(512)["speedup"] == pytest.approx(
+            limit, rel=0.05
+        )
+
+    def test_decompose_is_the_dominant_phase(self, sim):
+        """Hoisting helps because INTT0 + NTT0 dominate Figure 5's cycles;
+        the model must reflect that structure."""
+        t = sim.hoisted_timing(4)
+        assert t["decompose_cycles"] > 0
+        assert t["apply_cycles_per_rotation"] > 0
+        stats = sim.timing()
+        assert t["decompose_cycles"] == pytest.approx(
+            stats.stage_busy_cycles["INTT0"] + stats.stage_busy_cycles["NTT0"]
+        )
+
+    def test_rejects_zero_rotations(self, sim):
+        with pytest.raises(ValueError):
+            sim.hoisted_timing(0)
+
+    def test_level_count_scales_decompose(self, sim):
+        shallow = sim.hoisted_timing(4, level_count=1)
+        deep = sim.hoisted_timing(4)
+        assert shallow["decompose_cycles"] < deep["decompose_cycles"]

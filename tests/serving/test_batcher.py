@@ -26,10 +26,11 @@ def make_request(
     is_ntt=True,
     now=0.0,
     key=None,
+    digest=b"",
 ):
     ct = SimpleNamespace(n=n, size=size, level_count=levels, scale=scale, is_ntt=is_ntt)
     session = ClientSession("client", key_id)
-    return PendingRequest(session, 0, op, op_arg, ct, now, key)
+    return PendingRequest(session, 0, op, op_arg, ct, now, key, digest)
 
 
 class TestHomogeneityKey:
@@ -151,3 +152,123 @@ class TestKeyMaterialIdentity:
         lane_before = homogeneity_key(a)
         a.session.relin_key = object()  # key rotation while pending
         assert homogeneity_key(a) == lane_before
+
+
+class TestHoistLanes:
+    """Same-ciphertext rotations migrate to a digest-keyed hoist lane."""
+
+    def _keys(self):
+        return object()
+
+    def test_same_digest_different_steps_form_hoist_lane(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        keys = self._keys()
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-a"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=2, key=keys, digest=b"ct-a"), now=0.0
+        )
+        (group,) = batcher.flush_all()
+        assert group.hoisted and len(group) == 2
+        assert sorted(r.op_arg for r in group.requests) == [1, 2]
+
+    def test_different_digests_stay_step_keyed(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        keys = self._keys()
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-a"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-b"), now=0.0
+        )
+        (group,) = batcher.flush_all()
+        assert not group.hoisted and len(group) == 2  # batched by step
+
+    def test_extraction_leaves_other_lane_mates_behind(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        keys = self._keys()
+        # two step-1 rotations of different ciphertexts share a lane...
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-a"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-b"), now=0.0
+        )
+        # ...then ct-a shows up again with another step: ct-a hoists out
+        batcher.add(
+            make_request(op="rotate", op_arg=2, key=keys, digest=b"ct-a"), now=0.0
+        )
+        groups = sorted(batcher.flush_all(), key=len)
+        assert [len(g) for g in groups] == [1, 2]
+        assert not groups[0].hoisted and groups[0].requests[0].payload_digest == b"ct-b"
+        assert groups[1].hoisted
+        assert {r.payload_digest for r in groups[1].requests} == {b"ct-a"}
+
+    def test_hoist_lane_keeps_earliest_deadline(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=1.0)
+        keys = self._keys()
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"ct-a"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=2, key=keys, digest=b"ct-a"), now=0.6
+        )
+        # the migrated lane inherits the first request's opened_at = 0.0
+        (group,) = batcher.due(now=1.0)
+        assert group.hoisted and len(group) == 2
+
+    def test_hoist_lane_fills_to_max_batch_size(self):
+        batcher = DynamicBatcher(max_batch_size=3, max_delay_seconds=100.0)
+        keys = self._keys()
+        assert (
+            batcher.add(
+                make_request(op="rotate", op_arg=1, key=keys, digest=b"x"), now=0.0
+            )
+            is None
+        )
+        assert (
+            batcher.add(
+                make_request(op="rotate", op_arg=2, key=keys, digest=b"x"), now=0.0
+            )
+            is None
+        )
+        group = batcher.add(
+            make_request(op="rotate", op_arg=3, key=keys, digest=b"x"), now=0.0
+        )
+        assert group is not None and group.hoisted and len(group) == 3
+        assert batcher.pending_count == 0
+
+    def test_different_key_objects_never_share_hoist_lane(self):
+        """Same bytes under different key material must not hoist together."""
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=object(), digest=b"x"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=2, key=object(), digest=b"x"), now=0.0
+        )
+        groups = batcher.flush_all()
+        assert len(groups) == 2 and not any(g.hoisted for g in groups)
+
+    def test_hoisting_can_be_disabled(self):
+        batcher = DynamicBatcher(
+            max_batch_size=8, max_delay_seconds=100.0, hoist_rotations=False
+        )
+        keys = self._keys()
+        batcher.add(
+            make_request(op="rotate", op_arg=1, key=keys, digest=b"x"), now=0.0
+        )
+        batcher.add(
+            make_request(op="rotate", op_arg=2, key=keys, digest=b"x"), now=0.0
+        )
+        groups = batcher.flush_all()
+        assert len(groups) == 2 and not any(g.hoisted for g in groups)
+
+    def test_digestless_rotations_never_hoist(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_delay_seconds=100.0)
+        keys = self._keys()
+        batcher.add(make_request(op="rotate", op_arg=1, key=keys), now=0.0)
+        batcher.add(make_request(op="rotate", op_arg=2, key=keys), now=0.0)
+        groups = batcher.flush_all()
+        assert len(groups) == 2 and not any(g.hoisted for g in groups)

@@ -440,3 +440,101 @@ class TestCheapRejection:
         assert frame.kind == framing.ERROR
         assert "queue full" in frame.error_message
         assert server.report.rejected_requests == 1
+
+
+class TestHoistedRotationServing:
+    """Same-ciphertext rotation sweeps execute through one hoisted
+    key-switch decomposition, bit-identical to scalar service."""
+
+    def _tenant_with_steps(self, serving_context, steps):
+        from repro.serving.traffic import SyntheticClient, SyntheticTenant
+
+        tenant = SyntheticTenant(serving_context, seed=909, key_id="tenant-h")
+        tenant.galois_keys = tenant.keygen.galois_keys(steps, conjugation=True)
+        return tenant, SyntheticClient(tenant, "hoist-client", seed=910)
+
+    def test_rotation_sweep_served_hoisted_and_bit_identical(
+        self, serving_context
+    ):
+        from repro.ckks.evaluator import Evaluator
+
+        steps = [1, 2, 3]
+        tenant, client = self._tenant_with_steps(serving_context, steps)
+        server = EncryptedComputeServer(serving_context, max_batch_size=8)
+        client.connect(server)
+        values = [0.25 * i for i in range(4)]
+        frames = client.rotation_sweep_bytes(values, steps)
+        payload = framing.decode_frame(frames[0]).payload
+        for blob in frames:
+            server.receive(client.client_id, blob)
+        assert server.drain() == len(steps)
+
+        # one hoisted flush, not three scalar ones
+        (flush,) = server.report.flushes
+        assert flush.op == "rotate_hoisted"
+        assert flush.batch_size == len(steps) and flush.batched
+        assert flush.scheduled.kind == "keyswitch"
+
+        # responses are bit-identical to scalar evaluator service
+        ev = Evaluator(serving_context)
+        ct = deserialize_ciphertext(payload, serving_context)
+        expected = {
+            step: serialize_ciphertext(ev.rotate(ct, step, tenant.galois_keys))
+            for step in steps
+        }
+        outbox = server.sessions.get(client.client_id).take_outbox()
+        assert len(outbox) == len(steps)
+        for blob in outbox:
+            frame = framing.decode_frame(blob)
+            assert frame.kind == framing.RESPONSE and frame.op == "rotate"
+            assert frame.payload == expected[frame.op_arg]
+
+    def test_sweep_decrypts_to_each_rotation(self, serving_context):
+        steps = [1, 2]
+        tenant, client = self._tenant_with_steps(serving_context, steps)
+        server = EncryptedComputeServer(serving_context)
+        client.connect(server)
+        base = list(np.linspace(-1.0, 1.0, serving_context.params.slot_count))
+        for blob in client.rotation_sweep_bytes(base, steps):
+            server.receive(client.client_id, blob)
+        server.drain()
+        for blob in server.sessions.get(client.client_id).take_outbox():
+            frame = framing.decode_frame(blob)
+            _, values = tenant.decrypt_response(blob)
+            expected = np.roll(np.array(base), -frame.op_arg)
+            np.testing.assert_allclose(
+                np.array(values).real, expected, atol=1e-2
+            )
+
+    def test_distinct_ciphertexts_keep_batching_by_step(
+        self, serving_context, tenant, make_client
+    ):
+        """The hoist path must not break cross-client step batching."""
+        server = EncryptedComputeServer(serving_context, max_batch_size=8)
+        clients = [make_client() for _ in range(3)]
+        for c in clients:
+            c.connect(server)
+            server.receive(
+                c.client_id, c.request_bytes("rotate", [1.0, 2.0], op_arg=1)
+            )
+        assert server.drain() == 3
+        (flush,) = server.report.flushes
+        assert flush.op == "rotate" and flush.batch_size == 3 and flush.batched
+
+    def test_missing_key_step_fails_alone_in_hoist_flush(self, serving_context):
+        """A keyless step must not take its servable lane-mates down --
+        the per-step failure isolation of step-keyed lanes survives the
+        migration into a hoist lane."""
+        tenant, client = self._tenant_with_steps(serving_context, [1])
+        server = EncryptedComputeServer(serving_context)
+        client.connect(server)
+        # step 5 has no Galois key; step 1 does
+        for blob in client.rotation_sweep_bytes([1.0], [1, 5]):
+            server.receive(client.client_id, blob)
+        assert server.drain() == 2
+        by_kind = {}
+        for blob in server.sessions.get(client.client_id).take_outbox():
+            frame = framing.decode_frame(blob)
+            by_kind[frame.kind] = frame
+        assert set(by_kind) == {framing.RESPONSE, framing.ERROR}
+        assert "Galois key" in by_kind[framing.ERROR].error_message
