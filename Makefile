@@ -8,6 +8,7 @@
 #   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
 #   make bench-serving  serving-layer gate (dynamic batching vs sequential service)
 #   make bench-hoisting hoisted-rotation gate (decompose-once vs per-rotation keyswitch)
+#   make bench-residency data-residency gate (resident storage vs list interchange)
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
@@ -15,7 +16,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-hoisting vectors
+.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-hoisting bench-residency vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +43,10 @@ bench-serving:
 bench-hoisting:
 	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_keyswitch_hoisting.py -q -s
 	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_keyswitch_hoisting.py -q -s
+
+bench-residency:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_residency.py -q -s
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_residency.py -q -s
 
 vectors:
 	$(PYTHON) tests/vectors/regenerate.py

@@ -9,8 +9,13 @@ numpy backend at the paper's Table 2 ring degrees (n = 4096 / 8192 /
 so the pure-Python baseline stays measurable; a 50-bit row exercises
 the float-assisted Barrett path of the HEAX word-size regime.
 
-Acceptance gate (ISSUE 1): numpy forward NTT >= 5x reference at
-n = 16384, with bit-exact outputs.
+Acceptance gate (ISSUE 1, re-based for ISSUE 5): numpy forward NTT
+>= 5x reference at n = 16384, with bit-exact outputs, **measured on
+the resident representation** (the transform consumes and produces the
+backend-native residue matrix, as every post-ISSUE-5 caller does).
+The seed's list-boundary single-row kernel -- which pays a lift/lower
+conversion per call -- is still measured and emitted alongside, so the
+residency win at the kernel level stays visible in the results JSON.
 
 Run with::
 
@@ -66,7 +71,12 @@ def _time(fn, *args, repeats: int = 3) -> float:
 
 
 def _measure(prime_bits: int = 30):
-    """Per-ring (t_ref, t_np, outputs-equal) for fwd NTT, INTT, dyadic."""
+    """Per-ring (t_ref, t_np, outputs-equal) for fwd NTT, INTT, dyadic.
+
+    The numpy forward NTT is timed twice: on the resident native matrix
+    (``ntt_forward_rows`` on a lifted handle -- the hot-path contract)
+    and through the legacy list-boundary single-row kernel.
+    """
     ref = create_backend("reference")
     fast = create_backend("numpy")
     out = []
@@ -76,11 +86,14 @@ def _measure(prime_bits: int = 30):
         row = _rand_row(tables, n)
         other = _rand_row(tables, n + 1)
         fast.ntt_forward(tables, row)  # build twiddle cache outside timing
+        resident = fast.from_rows([row])
 
         fwd_ref = ref.ntt_forward(tables, row)
         fwd_np = fast.ntt_forward(tables, row)
+        fwd_resident = fast.to_rows(fast.ntt_forward_rows([tables], resident))[0]
         exact = (
             fwd_ref == fwd_np
+            and fwd_ref == fwd_resident
             and ref.ntt_inverse(tables, fwd_ref) == fast.ntt_inverse(tables, fwd_np)
             and ref.dyadic_mul(m, row, other) == fast.dyadic_mul(m, row, other)
         )
@@ -89,6 +102,7 @@ def _measure(prime_bits: int = 30):
                 "n": n,
                 "exact": exact,
                 "ntt": (_time(ref.ntt_forward, tables, row), _time(fast.ntt_forward, tables, row)),
+                "ntt_resident": _time(fast.ntt_forward_rows, [tables], resident),
                 "intt": (_time(ref.ntt_inverse, tables, fwd_ref), _time(fast.ntt_inverse, tables, fwd_ref)),
                 "dyadic": (_time(ref.dyadic_mul, m, row, other), _time(fast.dyadic_mul, m, row, other)),
             }
@@ -101,13 +115,15 @@ def test_backend_speedup_table2_rings(benchmark, emit, emit_json):
     rows = []
     for r in results:
         t_ntt_ref, t_ntt_np = r["ntt"]
+        t_res = r["ntt_resident"]
         t_intt_ref, t_intt_np = r["intt"]
         t_dy_ref, t_dy_np = r["dyadic"]
         rows.append(
             [
                 r["n"],
                 f"{t_ntt_ref * 1e3:.1f}",
-                f"{t_ntt_np * 1e3:.2f}",
+                f"{t_res * 1e3:.2f}",
+                f"{t_ntt_ref / t_res:.0f}x",
                 f"{t_ntt_ref / t_ntt_np:.0f}x",
                 f"{t_intt_ref / t_intt_np:.0f}x",
                 f"{t_dy_ref / t_dy_np:.0f}x",
@@ -119,28 +135,41 @@ def test_backend_speedup_table2_rings(benchmark, emit, emit_json):
         render_table(
             "Polynomial backend speedup: numpy vs pure-Python reference "
             "(30-bit primes, Table 2 ring degrees)",
-            ["n", "NTT ref (ms)", "NTT numpy (ms)", "NTT", "INTT", "dyadic", "bit-exact"],
+            ["n", "NTT ref (ms)", "NTT resident (ms)", "NTT resident",
+             "NTT boundary", "INTT", "dyadic", "bit-exact"],
             rows,
             note="speedups are best-of-3 wall times for one residue row; "
-            "the acceptance gate is >= 5x forward NTT at n = 16384.",
+            "'resident' transforms the backend-native matrix (the hot-path "
+            "contract), 'boundary' pays the per-call list lift/lower; the "
+            "acceptance gate is >= 5x resident forward NTT at n = 16384.",
         ),
     )
     for r in results:
         t_ref, t_np = r["ntt"]
+        t_res = r["ntt_resident"]
         emit_json(
-            op="ntt_forward",
+            op="ntt_forward_resident",
+            n=r["n"],
+            backend="numpy",
+            speedup=round(t_ref / t_res, 2),
+            gate=MIN_SPEEDUP_AT_16384 if r["n"] == 16384 else None,
+            bit_exact=r["exact"],
+        )
+        emit_json(
+            op="ntt_forward_list_boundary",
             n=r["n"],
             backend="numpy",
             speedup=round(t_ref / t_np, 2),
-            gate=MIN_SPEEDUP_AT_16384 if r["n"] == 16384 else None,
+            gate=None,
             bit_exact=r["exact"],
         )
         assert r["exact"], f"numpy backend diverged from reference at n={r['n']}"
     biggest = results[-1]
     assert biggest["n"] == 16384
-    t_ref, t_np = biggest["ntt"]
-    assert t_ref / t_np >= MIN_SPEEDUP_AT_16384, (
-        f"forward NTT speedup {t_ref / t_np:.1f}x below the "
+    t_ref = biggest["ntt"][0]
+    t_res = biggest["ntt_resident"]
+    assert t_ref / t_res >= MIN_SPEEDUP_AT_16384, (
+        f"resident forward NTT speedup {t_ref / t_res:.1f}x below the "
         f"{MIN_SPEEDUP_AT_16384}x gate at n=16384"
     )
 

@@ -14,15 +14,43 @@ DyadMult engines.
 
 Data contract
 -------------
-A *row* is one residue polynomial: a sequence of ``n`` Python ints in
-``[0, p)`` for one RNS modulus ``p``.  Backends receive rows as plain
-sequences and return plain ``list``s of Python ints -- the canonical
-interchange representation that :class:`repro.ckks.poly.RnsPolynomial`
-stores.  Internally a backend is free to use any representation it
-likes (the numpy backend converts rows to ``uint64`` arrays, runs every
-butterfly stage vectorized, and converts back at the boundary); the
-boundary format is fixed so that backends are interchangeable and
-bit-exactness can be asserted by comparing rows directly.
+A *row* is one residue polynomial: a sequence of ``n`` integers in
+``[0, p)`` for one RNS modulus ``p``.  The canonical *interchange*
+representation is a plain ``list`` of Python ints; single-row kernels
+accept any row representation and return canonical lists, so two
+backends remain directly comparable and bit-exactness can be asserted
+by comparing rows.
+
+Resident residue matrices
+-------------------------
+:class:`repro.ckks.poly.RnsPolynomial` no longer stores canonical
+lists: it holds an *opaque residue-matrix handle* in the backend's
+native representation -- the software analogue of HEAX keeping
+operands resident in on-chip memories across pipeline stages instead
+of round-tripping through DRAM (paper Section 4, Figure 2).  The
+handle API is:
+
+* :meth:`PolynomialBackend.make_rows` / :meth:`from_rows` /
+  :meth:`to_rows` / :meth:`copy_rows` -- allocate, lift, materialize
+  and natively copy a whole ``(L, n)`` residue matrix;
+* :meth:`get_row` / :meth:`set_row` / :meth:`select_rows` /
+  :meth:`insert_row` -- row-level access without leaving the native
+  representation;
+* the ``*_rows`` kernels (one row per modulus, the shape of a full
+  RNS polynomial) -- ``add_rows``, ``dyadic_mul_rows``,
+  ``ntt_forward_rows``, ``galois_rows``, ... -- which consume and
+  produce handles so chained polynomial operations never pay a
+  per-call lift/lower conversion;
+* :meth:`pack_rows` / :meth:`unpack_rows` -- straight bytes <->
+  native-matrix conversion for the wire format.
+
+The base-class defaults express every handle operation through the
+single-row kernels over canonical lists, which *is* the reference
+representation; array backends override them with whole-matrix
+kernels.  ``from_rows``/``to_rows`` are idempotent and
+value-preserving, so a handle can always be re-homed across backends
+(at a conversion cost the :class:`repro.ckks.backend.CountingBackend`
+makes visible as ``lift_rows``/``lower_rows``).
 
 All operations are **exact**: two backends given the same inputs must
 produce identical rows.  The reference backend is the ground truth; the
@@ -61,6 +89,11 @@ from typing import List, Sequence
 from repro.ckks.modarith import Modulus
 from repro.ckks.ntt import NTTTables
 
+try:  # wire pack/unpack fast path only -- kernels never depend on this
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _np = None
+
 #: A stack of residue rows sharing one modulus (see module docstring).
 RowStack = Sequence[Sequence[int]]
 
@@ -87,11 +120,37 @@ def canonical_stack(stack: RowStack) -> List[List[int]]:
     return out
 
 
+def canonical_rows(rows) -> List[List[int]]:
+    """Normalize a residue matrix to canonical lists *without copying*
+    rows that already are plain lists (contrast :func:`canonical_stack`,
+    which always copies).  Array rows/matrices are materialized."""
+    if hasattr(rows, "tolist"):
+        return rows.tolist()
+    out = None
+    for i, r in enumerate(rows):
+        if not isinstance(r, list):
+            if out is None:
+                out = list(rows)
+            out[i] = r.tolist() if hasattr(r, "tolist") else [int(x) for x in r]
+    return rows if out is None else out
+
+
+#: Little-endian word width of one packed residue coefficient (the wire
+#: word the paper's bandwidth arithmetic assumes).
+ROW_WORD_BYTES = 8
+
+
 class PolynomialBackend(abc.ABC):
     """Kernel provider for residue-row polynomial arithmetic."""
 
     #: Registry / selection name (e.g. ``"reference"``, ``"numpy"``).
     name: str = "abstract"
+
+    #: True when this backend's native resident representation *is* the
+    #: canonical list form (the reference backend); array backends set
+    #: this False.  The counting wrapper uses it to attribute boundary
+    #: conversions (lift = lists -> arrays, lower = arrays -> lists).
+    native_is_python: bool = True
 
     @property
     def cache_token(self) -> str:
@@ -105,6 +164,200 @@ class PolynomialBackend(abc.ABC):
         from the wrapped backend's token.
         """
         return self.name
+
+    # ------------------------------------------------------------------
+    # resident residue matrices (RnsPolynomial storage handles)
+    #
+    # A *handle* is this backend's native representation of an (L, n)
+    # residue matrix -- one row per RNS modulus.  The defaults keep the
+    # canonical list form (which is the reference backend's native
+    # representation); array backends override with contiguous matrices.
+    # ------------------------------------------------------------------
+    def make_rows(self, count: int, n: int):
+        """A zero-filled native residue matrix of ``count`` rows."""
+        return [[0] * n for _ in range(count)]
+
+    def from_rows(self, rows):
+        """Lift a residue matrix into this backend's native handle form.
+
+        Idempotent and value-preserving; a handle already in native form
+        is returned as-is (it may share structure with the input).
+        """
+        return canonical_rows(rows)
+
+    def to_rows(self, handle) -> List[List[int]]:
+        """Materialize a handle as canonical lists of Python ints.
+
+        The inverse of :meth:`from_rows`; non-copying when the handle is
+        already canonical.
+        """
+        return canonical_rows(handle)
+
+    def copy_rows(self, handle):
+        """A native, independently-mutable copy of a residue matrix."""
+        if hasattr(handle, "copy") and hasattr(handle, "dtype"):
+            return handle.copy()
+        return [
+            r.copy() if hasattr(r, "dtype") else list(r) for r in handle
+        ]
+
+    def get_row(self, handle, i: int):
+        """Row ``i`` of a handle, in native row form (may be a view)."""
+        return handle[i]
+
+    def set_row(self, handle, i: int, row) -> None:
+        """Overwrite row ``i`` of a handle in place."""
+        handle[i] = row
+
+    def select_rows(self, handle, indices: Sequence[int]):
+        """A new handle holding the selected rows (basis restriction)."""
+        return [handle[i] for i in indices]
+
+    def insert_row(self, handle, index: int, row):
+        """A new handle with ``row`` inserted at ``index``."""
+        out = list(handle)
+        out.insert(index, row)
+        return out
+
+    # -- whole-polynomial kernels: one row per modulus -----------------
+    @staticmethod
+    def _check_rows_count(moduli, *handles) -> None:
+        """Every handle must carry exactly one row per modulus.
+
+        Mirrors :meth:`_rows_of`'s rationale: a silent zip truncation on
+        one backend and a shape error on another would break backend
+        interchangeability, so the mismatch raises in the shared default.
+        """
+        for h in handles:
+            if len(h) != len(moduli):
+                raise ValueError(
+                    f"row count mismatch: handle has {len(h)} rows for "
+                    f"{len(moduli)} moduli"
+                )
+
+    def add_rows(self, moduli: Sequence[Modulus], a, b):
+        """Per-modulus ``a + b mod p`` over whole residue matrices."""
+        self._check_rows_count(moduli, a, b)
+        return [self.add(m, x, y) for m, x, y in zip(moduli, a, b)]
+
+    def sub_rows(self, moduli: Sequence[Modulus], a, b):
+        """Per-modulus ``a - b mod p`` over whole residue matrices."""
+        self._check_rows_count(moduli, a, b)
+        return [self.sub(m, x, y) for m, x, y in zip(moduli, a, b)]
+
+    def negate_rows(self, moduli: Sequence[Modulus], a):
+        """Per-modulus ``-a mod p`` over a whole residue matrix."""
+        self._check_rows_count(moduli, a)
+        return [self.negate(m, x) for m, x in zip(moduli, a)]
+
+    def dyadic_mul_rows(self, moduli: Sequence[Modulus], a, b):
+        """Per-modulus ``a * b mod p`` over whole residue matrices."""
+        self._check_rows_count(moduli, a, b)
+        return [self.dyadic_mul(m, x, y) for m, x, y in zip(moduli, a, b)]
+
+    def dyadic_mac_rows(self, moduli: Sequence[Modulus], acc, x, y):
+        """Per-modulus ``acc + x * y mod p`` over whole residue matrices."""
+        self._check_rows_count(moduli, acc, x, y)
+        return [
+            self.dyadic_mac(m, s, a, b)
+            for m, s, a, b in zip(moduli, acc, x, y)
+        ]
+
+    def scalar_mul_rows(self, moduli: Sequence[Modulus], a, scalars: Sequence[int]):
+        """Per-modulus ``a * scalar_i mod p_i`` with reduced scalars."""
+        self._check_rows_count(moduli, a)
+        return [
+            self.scalar_mul(m, x, s) for m, x, s in zip(moduli, a, scalars)
+        ]
+
+    def galois_rows(self, moduli: Sequence[Modulus], handle, mapping: Sequence[tuple]):
+        """Coefficient-domain Galois automorphism of a residue matrix.
+
+        ``mapping`` is the per-coefficient ``(dest, flip)`` table of
+        :meth:`repro.ckks.context.CkksContext.galois_map`; signs depend
+        on the modulus, so each row runs as a one-row
+        :meth:`apply_galois_stack` under its own modulus (one canonical
+        signed-permutation implementation).
+        """
+        self._check_rows_count(moduli, handle)
+        out = []
+        for m, row in zip(moduli, handle):
+            out.extend(self.apply_galois_stack(m, [row], mapping))
+        return out
+
+    def decompose_native(self, moduli: Sequence[Modulus], coeffs):
+        """:meth:`decompose`, but returning a native residue handle.
+
+        ``coeffs`` may be any integer sequence (signed, multi-word, or
+        an integer ndarray); the result holds ``c mod p`` rows in the
+        backend's resident representation.
+        """
+        if hasattr(coeffs, "tolist"):
+            coeffs = coeffs.tolist()
+        return self.decompose(list(moduli), coeffs)
+
+    def pack_rows(self, handle) -> bytes:
+        """Serialize a residue matrix as little-endian 8-byte words.
+
+        The wire is representation-independent, so even list-native
+        backends use one numpy array pass when numpy is importable (the
+        serving layer serializes every request); the pure-Python loop
+        remains the numpy-less fallback.
+        """
+        if _np is not None:
+            try:
+                mat = (
+                    handle
+                    if isinstance(handle, _np.ndarray)
+                    and handle.dtype == _np.uint64
+                    else _np.asarray(handle, dtype=_np.uint64)
+                )
+                return mat.astype("<u8", copy=False).tobytes()
+            except (OverflowError, ValueError, TypeError):
+                pass  # per-int loop below decides whether the rows fit
+        chunks = []
+        try:
+            for row in handle:
+                if hasattr(row, "tolist"):
+                    row = row.tolist()
+                chunks.append(
+                    b"".join(
+                        int(v).to_bytes(ROW_WORD_BYTES, "little") for v in row
+                    )
+                )
+        except OverflowError:
+            raise ValueError(
+                "residue word outside the unsigned 8-byte wire range; "
+                "reduce rows before packing"
+            ) from None
+        return b"".join(chunks)
+
+    def unpack_rows(self, data, count: int, n: int):
+        """Deserialize ``count`` rows of ``n`` words into a native handle.
+
+        ``data`` must hold exactly ``count * n`` little-endian 8-byte
+        words (callers validate payload sizes before slicing).  The
+        default produces canonical lists -- via one numpy pass when
+        available -- so list-native backends stay fast on the wire.
+        """
+        if _np is not None:
+            flat = _np.frombuffer(data, dtype="<u8", count=count * n)
+            return flat.reshape(count, n).tolist()
+        view = memoryview(data)
+        rows = []
+        offset = 0
+        for _ in range(count):
+            rows.append(
+                [
+                    int.from_bytes(
+                        view[offset + i * ROW_WORD_BYTES : offset + (i + 1) * ROW_WORD_BYTES],
+                        "little",
+                    )
+                    for i in range(n)
+                ]
+            )
+            offset += n * ROW_WORD_BYTES
+        return rows
 
     # ------------------------------------------------------------------
     # negacyclic NTT (Algorithms 3 and 4)
@@ -121,12 +374,14 @@ class PolynomialBackend(abc.ABC):
         self, tables_list: Sequence[NTTTables], rows: Sequence[Sequence[int]]
     ) -> List[List[int]]:
         """Forward-transform one row per modulus (a full RNS polynomial)."""
+        self._check_rows_count(tables_list, rows)
         return [self.ntt_forward(t, r) for t, r in zip(tables_list, rows)]
 
     def ntt_inverse_rows(
         self, tables_list: Sequence[NTTTables], rows: Sequence[Sequence[int]]
     ) -> List[List[int]]:
         """Inverse-transform one row per modulus (a full RNS polynomial)."""
+        self._check_rows_count(tables_list, rows)
         return [self.ntt_inverse(t, r) for t, r in zip(tables_list, rows)]
 
     # ------------------------------------------------------------------
@@ -311,6 +566,8 @@ class PolynomialBackend(abc.ABC):
         p = modulus.value
         out = []
         for row in stack:
+            if hasattr(row, "tolist"):
+                row = row.tolist()
             new_row = [0] * len(mapping)
             for idx, (dest, flip) in enumerate(mapping):
                 v = row[idx]
@@ -328,7 +585,12 @@ class PolynomialBackend(abc.ABC):
         permutation, so -- unlike :meth:`apply_galois_stack` -- it needs no
         modulus and rows under *different* RNS moduli may share one call.
         """
-        return [[row[s] for s in table] for row in stack]
+        out = []
+        for row in stack:
+            if hasattr(row, "tolist"):
+                row = row.tolist()
+            out.append([row[s] for s in table])
+        return out
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,12 +1,23 @@
-"""Transform-count instrumentation: a delegating backend wrapper.
+"""Transform-count and data-residency instrumentation: a delegating
+backend wrapper.
 
-The hoisting fast path's whole claim is a *transform budget*: a hoisted
-matvec must pay the Algorithm-7 fan-out (``O(L·(L+1))`` NTTs) once,
-not once per rotation.  :class:`CountingBackend` makes that budget an
-assertable quantity: it wraps any real backend, forwards every kernel
-unchanged (results stay bit-identical to the inner backend), and counts
-the *rows* each kernel class processed -- one stacked call over ``R``
-rows counts ``R``, so counts are representation-independent and
+Two budgets become assertable quantities through this wrapper:
+
+* the **transform budget** of the hoisting fast path (a hoisted matvec
+  must pay the Algorithm-7 fan-out once, not once per rotation) --
+  counted as the *rows* each transform kernel processed;
+* the **residency budget** of the backend-native storage work (HEAX
+  Section 4: operands stay resident in on-chip memories across
+  pipeline stages) -- counted as boundary *conversions* between the
+  canonical Python-list interchange form and the inner backend's
+  native matrices.  ``lift_rows`` counts rows boxed lists -> native,
+  ``lower_rows`` counts rows materialized native -> lists.  A fully
+  resident operation chain performs **zero** of either.
+
+:class:`CountingBackend` wraps any real backend, forwards every kernel
+unchanged (results stay bit-identical to the inner backend), and
+tallies both budgets.  Counts are in rows -- one stacked call over
+``R`` rows counts ``R`` -- so they are representation-independent and
 identical across backends.
 
 Usage::
@@ -15,12 +26,14 @@ Usage::
     ctx = CkksContext(params, backend=be)
     ... run the operation under test ...
     assert be.counts["ntt_forward"] == expected_forward_rows
+    assert be.conversion_rows == 0   # hot chain stayed resident
 
 Counted keys: ``ntt_forward`` / ``ntt_inverse`` (transform rows),
 ``galois_permute`` (coefficient-domain signed permutations),
 ``ntt_permute`` (NTT-domain gather permutations), ``dyadic_mul`` /
 ``dyadic_mac`` (DyadMult rows, the stack-reduce counting one mul plus
-``R - 1`` MAC rows).
+``R - 1`` MAC rows), and ``lift_rows`` / ``lower_rows`` (residency
+conversions).
 """
 
 from __future__ import annotations
@@ -28,9 +41,23 @@ from __future__ import annotations
 from collections import Counter
 from typing import List, Sequence
 
-from repro.ckks.backend.base import PolynomialBackend, RowStack
+from repro.ckks.backend.base import PolynomialBackend, RowStack, is_row
 from repro.ckks.modarith import Modulus
 from repro.ckks.ntt import NTTTables
+
+
+def _python_rows(handle) -> int:
+    """Rows stored as Python sequences (would need boxing to lift)."""
+    if hasattr(handle, "dtype"):
+        return 0
+    return sum(1 for r in handle if not hasattr(r, "dtype"))
+
+
+def _array_rows(handle) -> int:
+    """Rows stored as native arrays (would need materializing to lower)."""
+    if hasattr(handle, "dtype"):
+        return len(handle)
+    return sum(1 for r in handle if hasattr(r, "dtype"))
 
 
 class CountingBackend(PolynomialBackend):
@@ -51,6 +78,10 @@ class CountingBackend(PolynomialBackend):
         not with a counting wrapper around a *different* inner."""
         return f"counting:{self.inner.cache_token}"
 
+    @property
+    def native_is_python(self) -> bool:  # type: ignore[override]
+        return self.inner.native_is_python
+
     def reset(self) -> None:
         self.counts.clear()
 
@@ -59,94 +90,242 @@ class CountingBackend(PolynomialBackend):
         """Total NTT + INTT rows -- the hardware-visible transform budget."""
         return self.counts["ntt_forward"] + self.counts["ntt_inverse"]
 
+    @property
+    def conversion_rows(self) -> int:
+        """Total lift + lower rows -- the residency (DRAM-round-trip) budget."""
+        return self.counts["lift_rows"] + self.counts["lower_rows"]
+
+    # ------------------------------------------------------------------
+    # residency accounting helpers
+    # ------------------------------------------------------------------
+    def _note_handles(self, *handles) -> None:
+        """Charge the conversions the inner backend will perform to bring
+        these residue matrices into its native representation."""
+        if self.inner.native_is_python:
+            for h in handles:
+                self.counts["lower_rows"] += _array_rows(h)
+        else:
+            for h in handles:
+                self.counts["lift_rows"] += _python_rows(h)
+
+    def _note_operand(self, operand) -> None:
+        """Like :meth:`_note_handles` for a row-or-stack dyadic operand."""
+        if is_row(operand):
+            if not self.inner.native_is_python and not hasattr(operand, "dtype"):
+                self.counts["lift_rows"] += 1
+        else:
+            self._note_handles(operand)
+
+    def _note_single(self, *rows) -> None:
+        """Single-row kernels on an array backend lift every list operand
+        and lower their one-row canonical result; a list-native backend
+        conversely materializes (lowers) any array operand it is fed."""
+        if self.inner.native_is_python:
+            self.counts["lower_rows"] += sum(
+                1 for r in rows if hasattr(r, "dtype")
+            )
+            return
+        self.counts["lift_rows"] += sum(
+            1 for r in rows if not hasattr(r, "dtype")
+        )
+        self.counts["lower_rows"] += 1
+
+    # ------------------------------------------------------------------
+    # resident residue matrices
+    # ------------------------------------------------------------------
+    def make_rows(self, count, n):
+        return self.inner.make_rows(count, n)
+
+    def from_rows(self, rows):
+        self._note_handles(rows)
+        return self.inner.from_rows(rows)
+
+    def to_rows(self, handle):
+        self.counts["lower_rows"] += _array_rows(handle)
+        return self.inner.to_rows(handle)
+
+    def copy_rows(self, handle):
+        self._note_handles(handle)
+        return self.inner.copy_rows(handle)
+
+    def get_row(self, handle, i):
+        return self.inner.get_row(handle, i)
+
+    def set_row(self, handle, i, row):
+        return self.inner.set_row(handle, i, row)
+
+    def select_rows(self, handle, indices):
+        return self.inner.select_rows(handle, indices)
+
+    def insert_row(self, handle, index, row):
+        return self.inner.insert_row(handle, index, row)
+
+    def add_rows(self, moduli, a, b):
+        self._note_handles(a, b)
+        return self.inner.add_rows(moduli, a, b)
+
+    def sub_rows(self, moduli, a, b):
+        self._note_handles(a, b)
+        return self.inner.sub_rows(moduli, a, b)
+
+    def negate_rows(self, moduli, a):
+        self._note_handles(a)
+        return self.inner.negate_rows(moduli, a)
+
+    def dyadic_mul_rows(self, moduli, a, b):
+        self.counts["dyadic_mul"] += len(a)
+        self._note_handles(a, b)
+        return self.inner.dyadic_mul_rows(moduli, a, b)
+
+    def dyadic_mac_rows(self, moduli, acc, x, y):
+        self.counts["dyadic_mac"] += len(acc)
+        self._note_handles(acc, x, y)
+        return self.inner.dyadic_mac_rows(moduli, acc, x, y)
+
+    def scalar_mul_rows(self, moduli, a, scalars):
+        self._note_handles(a)
+        return self.inner.scalar_mul_rows(moduli, a, scalars)
+
+    def galois_rows(self, moduli, handle, mapping):
+        self.counts["galois_permute"] += len(handle)
+        self._note_handles(handle)
+        return self.inner.galois_rows(moduli, handle, mapping)
+
+    def ntt_forward_rows(self, tables_list, rows):
+        self.counts["ntt_forward"] += len(tables_list)
+        self._note_handles(rows)
+        return self.inner.ntt_forward_rows(tables_list, rows)
+
+    def ntt_inverse_rows(self, tables_list, rows):
+        self.counts["ntt_inverse"] += len(tables_list)
+        self._note_handles(rows)
+        return self.inner.ntt_inverse_rows(tables_list, rows)
+
+    def decompose_native(self, moduli, coeffs):
+        return self.inner.decompose_native(moduli, coeffs)
+
+    def pack_rows(self, handle):
+        return self.inner.pack_rows(handle)
+
+    def unpack_rows(self, data, count, n):
+        return self.inner.unpack_rows(data, count, n)
+
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
     def ntt_forward(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
         self.counts["ntt_forward"] += 1
+        self._note_single(row)
         return self.inner.ntt_forward(tables, row)
 
     def ntt_inverse(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
         self.counts["ntt_inverse"] += 1
+        self._note_single(row)
         return self.inner.ntt_inverse(tables, row)
 
     def ntt_forward_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
         self.counts["ntt_forward"] += len(stack)
+        self._note_handles(stack)
         return self.inner.ntt_forward_stack(tables, stack)
 
     def ntt_inverse_stack(self, tables: NTTTables, stack: RowStack) -> RowStack:
         self.counts["ntt_inverse"] += len(stack)
+        self._note_handles(stack)
         return self.inner.ntt_inverse_stack(tables, stack)
 
     # ------------------------------------------------------------------
     # dyadic / scalar arithmetic
     # ------------------------------------------------------------------
     def add(self, modulus, a, b):
+        self._note_single(a, b)
         return self.inner.add(modulus, a, b)
 
     def sub(self, modulus, a, b):
+        self._note_single(a, b)
         return self.inner.sub(modulus, a, b)
 
     def negate(self, modulus, a):
+        self._note_single(a)
         return self.inner.negate(modulus, a)
 
     def dyadic_mul(self, modulus, a, b):
         self.counts["dyadic_mul"] += 1
+        self._note_single(a, b)
         return self.inner.dyadic_mul(modulus, a, b)
 
     def dyadic_mac(self, modulus, acc, x, y):
         self.counts["dyadic_mac"] += 1
+        self._note_single(acc, x, y)
         return self.inner.dyadic_mac(modulus, acc, x, y)
 
     def scalar_mul(self, modulus, a, scalar):
+        self._note_single(a)
         return self.inner.scalar_mul(modulus, a, scalar)
 
     def scalar_mac(self, modulus, acc, a, scalar):
+        self._note_single(acc, a)
         return self.inner.scalar_mac(modulus, acc, a, scalar)
 
     def reduce_mod(self, modulus, row):
+        self._note_single(row)
         return self.inner.reduce_mod(modulus, row)
 
     # ------------------------------------------------------------------
     # stacked kernels (counts in rows, then straight delegation)
     # ------------------------------------------------------------------
     def native_stack(self, stack: RowStack) -> RowStack:
+        self._note_handles(stack)
         return self.inner.native_stack(stack)
 
     def add_stack(self, modulus, a, b):
+        self._note_handles(a)
+        self._note_operand(b)
         return self.inner.add_stack(modulus, a, b)
 
     def sub_stack(self, modulus, a, b):
+        self._note_handles(a)
+        self._note_operand(b)
         return self.inner.sub_stack(modulus, a, b)
 
     def negate_stack(self, modulus, a):
+        self._note_handles(a)
         return self.inner.negate_stack(modulus, a)
 
     def dyadic_mul_stack(self, modulus, a, b):
         self.counts["dyadic_mul"] += len(a)
+        self._note_handles(a)
+        self._note_operand(b)
         return self.inner.dyadic_mul_stack(modulus, a, b)
 
     def dyadic_mac_stack(self, modulus, acc, x, y):
         self.counts["dyadic_mac"] += len(acc)
+        self._note_handles(acc)
+        self._note_operand(x)
+        self._note_operand(y)
         return self.inner.dyadic_mac_stack(modulus, acc, x, y)
 
     def dyadic_stack_reduce(self, modulus, x, y):
         self.counts["dyadic_mul"] += 1
         self.counts["dyadic_mac"] += max(0, len(x) - 1)
+        self._note_handles(x, y)
         return self.inner.dyadic_stack_reduce(modulus, x, y)
 
     def scalar_mul_stack(self, modulus, a, scalar):
+        self._note_handles(a)
         return self.inner.scalar_mul_stack(modulus, a, scalar)
 
     def reduce_mod_stack(self, modulus, stack):
+        self._note_handles(stack)
         return self.inner.reduce_mod_stack(modulus, stack)
 
     def apply_galois_stack(self, modulus, stack, mapping):
         self.counts["galois_permute"] += len(stack)
+        self._note_handles(stack)
         return self.inner.apply_galois_stack(modulus, stack, mapping)
 
     def permute_ntt_stack(self, stack, table):
         self.counts["ntt_permute"] += len(stack)
+        self._note_handles(stack)
         return self.inner.permute_ntt_stack(stack, table)
 
     def __repr__(self) -> str:

@@ -57,18 +57,28 @@ _WORD_SAFE_BOUND = 1 << 52
 _CACHE_ATTR = "_numpy_twiddle_cache"
 
 
-def _mulmod(a: np.ndarray, b, p: int) -> np.ndarray:
-    """Exact ``a * b mod p`` for uint64 operands reduced below ``p``."""
-    if p < _DIRECT_MUL_BOUND:
+def _mulmod(a: np.ndarray, b, p) -> np.ndarray:
+    """Exact ``a * b mod p`` for uint64 operands reduced below ``p``.
+
+    ``p`` may be a scalar int or an already-uint64 ``(L, 1)`` modulus
+    column that broadcasts one prime per residue row -- the shape the
+    whole-matrix ``*_rows`` kernels use.  The Barrett float path is
+    exact for every ``p < 2^52``, so a column mixing the native-multiply
+    and float-Barrett regimes simply runs the float path throughout.
+    """
+    per_row = isinstance(p, np.ndarray)
+    if (int(p.max()) if per_row else p) < _DIRECT_MUL_BOUND:
         prod = a * b
-        prod %= np.uint64(p)
+        prod %= p if per_row else np.uint64(p)
         return prod
     # Barrett with a float64 quotient estimate: q is off by at most a few
     # units, and a*b - q*p is exact modulo 2^64, so a short correction
     # loop lands in [0, p).
-    q = (a.astype(np.float64) * np.asarray(b, dtype=np.float64) / p).astype(np.uint64)
-    r = (a * b - q * np.uint64(p)).view(np.int64)
-    pi = np.int64(p)
+    pf = p.astype(np.float64) if per_row else p
+    q = (a.astype(np.float64) * np.asarray(b, dtype=np.float64) / pf).astype(np.uint64)
+    pu = p if per_row else np.uint64(p)
+    r = (a * b - q * pu).view(np.int64)
+    pi = p.astype(np.int64) if per_row else np.int64(p)
     while True:
         neg = r < 0
         if neg.any():
@@ -81,7 +91,7 @@ def _mulmod(a: np.ndarray, b, p: int) -> np.ndarray:
         return r.astype(np.uint64)
 
 
-def _cond_sub(x: np.ndarray, p: int) -> np.ndarray:
+def _cond_sub(x: np.ndarray, p) -> np.ndarray:
     """Lazy reduction of values in ``[0, 2p)`` into ``[0, p)``, in place.
 
     Uses the uint64 wraparound: for ``x < p``, ``x - p`` wraps above
@@ -89,15 +99,17 @@ def _cond_sub(x: np.ndarray, p: int) -> np.ndarray:
     single temporary instead of a mask + select.  ``x`` must be a
     freshly-allocated array the caller owns (every call site passes the
     result of an arithmetic expression); it is overwritten and returned.
+    ``p`` is a scalar int or a uint64 per-row modulus column.
     """
-    np.minimum(x, x - np.uint64(p), out=x)
+    pu = p if isinstance(p, np.ndarray) else np.uint64(p)
+    np.minimum(x, x - pu, out=x)
     return x
 
 
-def _submod(a: np.ndarray, b, p: int) -> np.ndarray:
+def _submod(a: np.ndarray, b, p) -> np.ndarray:
     """``a - b mod p`` for reduced operands: wrap into ``[0, 2p)``, reduce."""
     d = a - b
-    d += np.uint64(p)  # now in (0, 2p), wraparound included
+    d += p if isinstance(p, np.ndarray) else np.uint64(p)  # now in (0, 2p)
     return _cond_sub(d, p)
 
 
@@ -225,6 +237,7 @@ class NumpyBackend(PolynomialBackend):
     """Stage-vectorized uint64 kernels with reference fallback."""
 
     name = "numpy"
+    native_is_python = False
 
     def __init__(self):
         self._fallback = ReferenceBackend()
@@ -236,6 +249,27 @@ class NumpyBackend(PolynomialBackend):
     def supports(modulus: Modulus) -> bool:
         """True when this prime is inside the word-size-safe envelope."""
         return modulus.value < _WORD_SAFE_BOUND
+
+    @classmethod
+    def _supports_all(cls, moduli) -> bool:
+        return all(m.value < _WORD_SAFE_BOUND for m in moduli)
+
+    @staticmethod
+    def _matrix(handle) -> np.ndarray:
+        """Lift a residue matrix to ``(L, n)`` uint64 (no-op if it is one).
+
+        Raises ``OverflowError``/``ValueError``/``TypeError`` on rows
+        that cannot be represented (signed or multi-word coefficients);
+        callers fall back to the canonical-list defaults in that case.
+        """
+        if isinstance(handle, np.ndarray) and handle.dtype == np.uint64:
+            return handle
+        return np.asarray(handle, dtype=np.uint64)
+
+    @staticmethod
+    def _pcol(moduli) -> np.ndarray:
+        """The ``(L, 1)`` modulus column broadcasting one prime per row."""
+        return np.array([[m.value] for m in moduli], dtype=np.uint64)
 
     @staticmethod
     def _twiddles(tables: NTTTables) -> _TwiddleCache:
@@ -279,8 +313,229 @@ class NumpyBackend(PolynomialBackend):
         """Lift to ``(R, n)`` uint64 once so later kernels skip conversion."""
         try:
             return self._stack(stack)
-        except (OverflowError, ValueError):
+        except (OverflowError, ValueError, TypeError):
             return stack  # out-of-word rows stay lists for the fallback path
+
+    # ------------------------------------------------------------------
+    # resident residue matrices: the native handle is a C-contiguous
+    # (L, n) uint64 matrix -- the software stand-in for a BRAM-resident
+    # operand.  Whole-polynomial kernels broadcast an (L, 1) modulus
+    # column so one array pass covers every RNS row at once.
+    # ------------------------------------------------------------------
+    def make_rows(self, count: int, n: int):
+        return np.zeros((count, n), dtype=np.uint64)
+
+    def from_rows(self, rows):
+        try:
+            return self._matrix(rows)
+        except (OverflowError, ValueError, TypeError):
+            return super().from_rows(rows)
+
+    def to_rows(self, handle):
+        if isinstance(handle, np.ndarray):
+            return handle.tolist()
+        return super().to_rows(handle)
+
+    def copy_rows(self, handle):
+        if isinstance(handle, np.ndarray):
+            return handle.copy()
+        try:
+            return np.array(handle, dtype=np.uint64)
+        except (OverflowError, ValueError, TypeError):
+            return super().copy_rows(handle)
+
+    def set_row(self, handle, i: int, row) -> None:
+        if isinstance(handle, np.ndarray):
+            # explicit uint64 lift: plain assignment would route python
+            # ints through a signed intermediate and overflow at 2^63
+            handle[i] = row if isinstance(row, np.ndarray) else np.asarray(
+                row, dtype=np.uint64
+            )
+        else:
+            super().set_row(handle, i, row)
+
+    def select_rows(self, handle, indices):
+        if isinstance(handle, np.ndarray):
+            return handle[list(indices)]
+        return super().select_rows(handle, indices)
+
+    def insert_row(self, handle, index: int, row):
+        if isinstance(handle, np.ndarray):
+            r = row if isinstance(row, np.ndarray) else np.asarray(row, dtype=np.uint64)
+            return np.concatenate([handle[:index], r[None, :], handle[index:]])
+        return super().insert_row(handle, index, row)
+
+    def _rows_pair(self, moduli, a, b):
+        """Lift both operands of a whole-matrix kernel, or signal fallback."""
+        if not self._supports_all(moduli):
+            return None
+        try:
+            return self._matrix(a), self._matrix(b)
+        except (OverflowError, ValueError, TypeError):
+            return None
+
+    def add_rows(self, moduli, a, b):
+        self._check_rows_count(moduli, a, b)
+        ab = self._rows_pair(moduli, a, b)
+        if ab is None:
+            return super().add_rows(moduli, a, b)
+        return _cond_sub(ab[0] + ab[1], self._pcol(moduli))
+
+    def sub_rows(self, moduli, a, b):
+        self._check_rows_count(moduli, a, b)
+        ab = self._rows_pair(moduli, a, b)
+        if ab is None:
+            return super().sub_rows(moduli, a, b)
+        return _submod(ab[0], ab[1], self._pcol(moduli))
+
+    def negate_rows(self, moduli, a):
+        self._check_rows_count(moduli, a)
+        if not self._supports_all(moduli):
+            return super().negate_rows(moduli, a)
+        try:
+            arr = self._matrix(a)
+        except (OverflowError, ValueError, TypeError):
+            return super().negate_rows(moduli, a)
+        out = self._pcol(moduli) - arr
+        np.minimum(out, np.uint64(0) - arr, out=out)
+        return out
+
+    def dyadic_mul_rows(self, moduli, a, b):
+        self._check_rows_count(moduli, a, b)
+        ab = self._rows_pair(moduli, a, b)
+        if ab is None:
+            return super().dyadic_mul_rows(moduli, a, b)
+        return _mulmod(ab[0], ab[1], self._pcol(moduli))
+
+    def dyadic_mac_rows(self, moduli, acc, x, y):
+        self._check_rows_count(moduli, acc, x, y)
+        xy = self._rows_pair(moduli, x, y)
+        if xy is None:
+            return super().dyadic_mac_rows(moduli, acc, x, y)
+        try:
+            acc_m = self._matrix(acc)
+        except (OverflowError, ValueError, TypeError):
+            return super().dyadic_mac_rows(moduli, acc, x, y)
+        pcol = self._pcol(moduli)
+        return _cond_sub(acc_m + _mulmod(xy[0], xy[1], pcol), pcol)
+
+    def scalar_mul_rows(self, moduli, a, scalars):
+        self._check_rows_count(moduli, a)
+        if not self._supports_all(moduli):
+            return super().scalar_mul_rows(moduli, a, scalars)
+        try:
+            arr = self._matrix(a)
+        except (OverflowError, ValueError, TypeError):
+            return super().scalar_mul_rows(moduli, a, scalars)
+        scol = np.array(
+            [[s % m.value] for s, m in zip(scalars, moduli)], dtype=np.uint64
+        )
+        return _mulmod(arr, scol, self._pcol(moduli))
+
+    def galois_rows(self, moduli, handle, mapping):
+        self._check_rows_count(moduli, handle)
+        if not self._supports_all(moduli):
+            return super().galois_rows(moduli, handle, mapping)
+        try:
+            arr = self._matrix(handle)
+        except (OverflowError, ValueError, TypeError):
+            return super().galois_rows(moduli, handle, mapping)
+        n = len(mapping)
+        dest = np.fromiter((d for d, _ in mapping), dtype=np.intp, count=n)
+        flip = np.fromiter((f for _, f in mapping), dtype=bool, count=n)
+        vals = np.where(flip[None, :] & (arr != 0), self._pcol(moduli) - arr, arr)
+        out = np.empty_like(vals)
+        out[:, dest] = vals
+        return out
+
+    def ntt_forward_rows(self, tables_list, rows):
+        return self._ntt_rows(tables_list, rows, inverse=False)
+
+    def ntt_inverse_rows(self, tables_list, rows):
+        return self._ntt_rows(tables_list, rows, inverse=True)
+
+    def _ntt_rows(self, tables_list, rows, inverse: bool):
+        """One transform per (modulus, row) on a resident matrix.
+
+        Each row's butterfly stages run on an in-place ``(n, 1)`` view of
+        an owned output matrix -- no boundary conversion per row; rows
+        under out-of-envelope primes transform through the reference
+        fallback and are re-lifted into the matrix.
+        """
+        try:
+            mat = self._matrix(rows)
+        except (OverflowError, ValueError, TypeError):
+            mat = None
+        if mat is None:
+            if inverse:
+                return super().ntt_inverse_rows(tables_list, rows)
+            return super().ntt_forward_rows(tables_list, rows)
+        if len(tables_list) != mat.shape[0]:
+            raise ValueError(
+                f"expected {len(tables_list)} rows, got {mat.shape[0]}"
+            )
+        out = mat.copy()  # the stage cores mutate in place
+        stages = _inv_stages if inverse else _fwd_stages
+        for i, tables in enumerate(tables_list):
+            if mat.shape[1] != tables.n:
+                raise ValueError(
+                    f"expected {tables.n} coefficients, got {mat.shape[1]}"
+                )
+            if self.supports(tables.modulus):
+                stages(
+                    out[i].reshape(-1, 1),
+                    self._twiddles(tables),
+                    tables.modulus.value,
+                )
+            else:
+                fb = self._fallback
+                row = (
+                    fb.ntt_inverse(tables, mat[i].tolist())
+                    if inverse
+                    else fb.ntt_forward(tables, mat[i].tolist())
+                )
+                out[i] = np.asarray(row, dtype=np.uint64)
+        return out
+
+    def decompose_native(self, moduli, coeffs):
+        arr = None
+        if isinstance(coeffs, np.ndarray) and coeffs.dtype in (
+            np.dtype(np.int64),
+            np.dtype(np.uint64),
+        ):
+            arr = coeffs
+        else:
+            try:
+                arr = np.asarray(coeffs, dtype=np.uint64)
+            except (OverflowError, ValueError, TypeError):
+                try:
+                    # signed single-word coefficients (rounded encoder
+                    # output): np.remainder on int64 is exact and lands
+                    # in [0, p)
+                    arr = np.asarray(coeffs, dtype=np.int64)
+                except (OverflowError, ValueError, TypeError):
+                    arr = None
+        if arr is None:
+            return super().decompose_native(moduli, coeffs)
+        out = np.empty((len(moduli), len(arr)), dtype=np.uint64)
+        for i, m in enumerate(moduli):
+            if arr.dtype == np.uint64:
+                out[i] = arr % np.uint64(m.value)
+            else:
+                out[i] = np.remainder(arr, np.int64(m.value)).astype(np.uint64)
+        return out
+
+    def pack_rows(self, handle) -> bytes:
+        try:
+            mat = self._matrix(handle)
+        except (OverflowError, ValueError, TypeError):
+            return super().pack_rows(handle)
+        return mat.astype("<u8", copy=False).tobytes()
+
+    def unpack_rows(self, data, count: int, n: int):
+        arr = np.frombuffer(data, dtype="<u8", count=count * n)
+        # astype: native byte order plus an owned, writable matrix
+        return arr.reshape(count, n).astype(np.uint64)
 
     # ------------------------------------------------------------------
     # NTT (Algorithm 3, one vector op sequence per stage)
@@ -370,10 +625,20 @@ class NumpyBackend(PolynomialBackend):
             return self._fallback.reduce_mod(modulus, row)
         try:
             arr = np.asarray(row, dtype=np.uint64)
-        except (OverflowError, ValueError):
-            # signed or multi-word coefficients (e.g. raw encoder output):
-            # Python big-int reduction is the only exact path
-            return self._fallback.reduce_mod(modulus, row)
+        except (OverflowError, ValueError, TypeError):
+            try:
+                # signed single-word coefficients (rounded encoder
+                # output): int64 remainder is exact and lands in [0, p)
+                arr = np.asarray(row, dtype=np.int64)
+            except (OverflowError, ValueError, TypeError):
+                # multi-word coefficients: Python big-int reduction is
+                # the only exact path
+                return self._fallback.reduce_mod(modulus, row)
+            return (
+                np.remainder(arr, np.int64(modulus.value))
+                .astype(np.uint64)
+                .tolist()
+            )
         return (arr % np.uint64(modulus.value)).tolist()
 
     # ------------------------------------------------------------------

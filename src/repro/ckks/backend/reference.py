@@ -22,6 +22,19 @@ from repro.ckks.modarith import Modulus
 from repro.ckks.ntt import NTTTables
 
 
+def _as_list(row) -> Sequence[int]:
+    """Normalize a row to Python ints before per-coefficient arithmetic.
+
+    Rows may arrive in an array backend's native form (uint64 ndarray
+    views of a resident matrix); numpy scalars must not leak into the
+    Python big-int arithmetic below -- ``np.uint64 * np.uint64`` wraps
+    at ``2^64`` instead of widening, and mixed ``int``/``np.uint64``
+    operations degrade to float64 on older numpy -- so they are
+    materialized here, at the kernel boundary.
+    """
+    return row.tolist() if hasattr(row, "tolist") else row
+
+
 class ReferenceBackend(PolynomialBackend):
     """Per-coefficient Python loops; the specification backend."""
 
@@ -31,31 +44,31 @@ class ReferenceBackend(PolynomialBackend):
     # NTT
     # ------------------------------------------------------------------
     def ntt_forward(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
-        return tables.forward(row)
+        return tables.forward(_as_list(row))
 
     def ntt_inverse(self, tables: NTTTables, row: Sequence[int]) -> List[int]:
-        return tables.inverse(row)
+        return tables.inverse(_as_list(row))
 
     # ------------------------------------------------------------------
     # dyadic arithmetic
     # ------------------------------------------------------------------
     def add(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
         p = modulus.value
-        row = [x + y for x, y in zip(a, b)]
+        row = [x + y for x, y in zip(_as_list(a), _as_list(b))]
         return [v - p if v >= p else v for v in row]
 
     def sub(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
         p = modulus.value
-        row = [x - y for x, y in zip(a, b)]
+        row = [x - y for x, y in zip(_as_list(a), _as_list(b))]
         return [v + p if v < 0 else v for v in row]
 
     def negate(self, modulus: Modulus, a: Sequence[int]) -> List[int]:
         p = modulus.value
-        return [0 if x == 0 else p - x for x in a]
+        return [0 if x == 0 else p - x for x in _as_list(a)]
 
     def dyadic_mul(self, modulus: Modulus, a: Sequence[int], b: Sequence[int]) -> List[int]:
         mul = modulus.mul
-        return [mul(x, y) for x, y in zip(a, b)]
+        return [mul(x, y) for x, y in zip(_as_list(a), _as_list(b))]
 
     def dyadic_mac(
         self,
@@ -67,7 +80,7 @@ class ReferenceBackend(PolynomialBackend):
         p = modulus.value
         mul = modulus.mul
         out = []
-        for s, a, b in zip(acc, x, y):
+        for s, a, b in zip(_as_list(acc), _as_list(x), _as_list(y)):
             v = s + mul(a, b)
             out.append(v - p if v >= p else v)
         return out
@@ -82,9 +95,9 @@ class ReferenceBackend(PolynomialBackend):
             raise ValueError("cannot reduce an empty stack")
         p = modulus.value
         mul = modulus.mul
-        acc = [mul(a, b) for a, b in zip(x[0], y[0])]
+        acc = [mul(a, b) for a, b in zip(_as_list(x[0]), _as_list(y[0]))]
         for xr, yr in zip(x[1:], y[1:]):
-            for i, (a, b) in enumerate(zip(xr, yr)):
+            for i, (a, b) in enumerate(zip(_as_list(xr), _as_list(yr))):
                 v = acc[i] + mul(a, b)
                 acc[i] = v - p if v >= p else v
         return acc
@@ -94,7 +107,7 @@ class ReferenceBackend(PolynomialBackend):
     # ------------------------------------------------------------------
     def scalar_mul(self, modulus: Modulus, a: Sequence[int], scalar: int) -> List[int]:
         mul = modulus.mul
-        return [mul(x, scalar) for x in a]
+        return [mul(x, scalar) for x in _as_list(a)]
 
     def scalar_mac(
         self, modulus: Modulus, acc: Sequence[int], a: Sequence[int], scalar: int
@@ -102,7 +115,7 @@ class ReferenceBackend(PolynomialBackend):
         p = modulus.value
         mul = modulus.mul
         out = []
-        for s, x in zip(acc, a):
+        for s, x in zip(_as_list(acc), _as_list(a)):
             v = s + mul(x, scalar)
             out.append(v - p if v >= p else v)
         return out
@@ -112,4 +125,4 @@ class ReferenceBackend(PolynomialBackend):
     # ------------------------------------------------------------------
     def reduce_mod(self, modulus: Modulus, row: Sequence[int]) -> List[int]:
         p = modulus.value
-        return [x % p for x in row]
+        return [x % p for x in _as_list(row)]

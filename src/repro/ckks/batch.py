@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.ckks.backend.base import RowStack, canonical_stack
+from repro.ckks.backend.base import RowStack
 from repro.ckks.context import CkksContext
 from repro.ckks.evaluator import check_scales
 from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
@@ -115,9 +115,13 @@ class CiphertextBatch:
                 raise ValueError(
                     f"batch elements must share scale: {ct.scale:g} vs {first.scale:g}"
                 ) from None
+        # native row views: joining a batch is pure addressing over the
+        # already-resident per-ciphertext matrices (no list
+        # materialization); the first stacked kernel fuses the views
+        # into one (N, n) matrix via native_stack
         stacks = [
             [
-                [ct.polys[j].residues[i] for ct in cts]
+                [ct.polys[j].row(i) for ct in cts]
                 for i in range(len(first.moduli))
             ]
             for j in range(first.size)
@@ -128,15 +132,22 @@ class CiphertextBatch:
     join = from_ciphertexts
 
     def split(self) -> List[Ciphertext]:
-        """Unstack into ``N`` canonical :class:`Ciphertext` objects."""
-        rows = [[canonical_stack(stack) for stack in comp] for comp in self.stacks]
+        """Unstack into ``N`` :class:`Ciphertext` objects.
+
+        Element polynomials are built from *views* of the resident batch
+        stacks -- no materialization to Python lists -- so a
+        split-then-serialize flush packs bytes straight from the native
+        matrices.  Views are read-only by convention (as everywhere in
+        the residency design); use ``clone()`` on an element before
+        mutating rows in place.
+        """
         out = []
         for b in range(self.count):
             polys = [
                 RnsPolynomial(
                     self.n,
                     self.moduli,
-                    [rows[j][i][b] for i in range(len(self.moduli))],
+                    [self.stacks[j][i][b] for i in range(len(self.moduli))],
                     self.is_ntt,
                 )
                 for j in range(self.size)
@@ -286,9 +297,10 @@ class BatchEvaluator:
         self._check_pair(batch, pt)
         be = self.context.backend
         self._lift(batch)
+        pt_rows = pt.poly.native_rows(be)
         stacks = [list(comp) for comp in batch.stacks]
         stacks[0] = [
-            be.add_stack(m, batch.stacks[0][i], pt.poly.residues[i])
+            be.add_stack(m, batch.stacks[0][i], be.get_row(pt_rows, i))
             for i, m in enumerate(batch.moduli)
         ]
         return CiphertextBatch(
@@ -329,9 +341,10 @@ class BatchEvaluator:
         self._check_pair(batch, pt)
         be = self.context.backend
         self._lift(batch)
+        pt_rows = pt.poly.native_rows(be)
         stacks = [
             [
-                be.dyadic_mul_stack(m, comp[i], pt.poly.residues[i])
+                be.dyadic_mul_stack(m, comp[i], be.get_row(pt_rows, i))
                 for i, m in enumerate(batch.moduli)
             ]
             for comp in batch.stacks
@@ -534,7 +547,7 @@ class BatchEvaluator:
         be = ctx.backend
         self._lift(batch)
         ext_moduli, digits = self._decompose_stacks(batch.stacks[1], batch.moduli)
-        table = ctx.galois_map_ntt(galois_elt)
+        table = ctx.galois_table_ntt(galois_elt)
         permuted = [
             [be.permute_ntt_stack(d, table) for d in per_modulus]
             for per_modulus in digits
@@ -598,17 +611,17 @@ class BatchEvaluator:
                 s if s_power is None
                 else s_power.dyadic_multiply(s, backend=be)
             )
+            s_rows = s_power.native_rows(be)
             acc = [
-                be.dyadic_mac_stack(m, acc[i], comp[i], s_power.residues[i])
+                be.dyadic_mac_stack(m, acc[i], comp[i], be.get_row(s_rows, i))
                 for i, m in enumerate(batch.moduli)
             ]
-        rows = [canonical_stack(stack) for stack in acc]
         return [
             Plaintext(
                 RnsPolynomial(
                     batch.n,
                     batch.moduli,
-                    [rows[i][b] for i in range(len(batch.moduli))],
+                    [acc[i][b] for i in range(len(batch.moduli))],
                     is_ntt=True,
                 ),
                 batch.scale,

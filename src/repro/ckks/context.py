@@ -31,8 +31,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ckks.backend import PolynomialBackend, get_backend, resolve_backend
-from repro.ckks.backend.base import canonical_stack
 from repro.ckks.modarith import HEAX_WORD_BITS, Modulus
+
+try:  # native Galois gather tables (optional, numpy-less hosts skip it)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    _np = None
 from repro.ckks.ntt import NTTTables, bit_reverse
 from repro.ckks.poly import RnsPolynomial
 from repro.ckks.primes import make_modulus_chain
@@ -169,6 +173,8 @@ class CkksContext:
         }
         self._galois_cache: Dict[int, List[Tuple[int, bool]]] = {}
         self._galois_ntt_cache: Dict[int, List[int]] = {}
+        #: galois_elt -> intp index array (see :meth:`galois_table_ntt`).
+        self._galois_ntt_native_cache: Dict[int, object] = {}
         #: inverse of each chain modulus against every other chain modulus,
         #: ``_mod_inverses[last][p] = (last mod p)^-1 mod p`` -- the rescale
         #: and Modulus-Switch flooring constants (Algorithm 6), precomputed
@@ -229,19 +235,21 @@ class CkksContext:
         """Transform every residue polynomial to NTT form (Algorithm 3)."""
         if poly.is_ntt:
             raise ValueError("polynomial already in NTT form")
-        residues = self.backend.ntt_forward_rows(
-            [self._tables[m.value] for m in poly.moduli], poly.residues
+        be = self.backend
+        rows = be.ntt_forward_rows(
+            [self._tables[m.value] for m in poly.moduli], poly.native_rows(be)
         )
-        return RnsPolynomial(poly.n, poly.moduli, residues, is_ntt=True)
+        return RnsPolynomial(poly.n, poly.moduli, rows, is_ntt=True)
 
     def from_ntt(self, poly: RnsPolynomial) -> RnsPolynomial:
         """Transform every residue polynomial back (Algorithm 4)."""
         if not poly.is_ntt:
             raise ValueError("polynomial not in NTT form")
-        residues = self.backend.ntt_inverse_rows(
-            [self._tables[m.value] for m in poly.moduli], poly.residues
+        be = self.backend
+        rows = be.ntt_inverse_rows(
+            [self._tables[m.value] for m in poly.moduli], poly.native_rows(be)
         )
-        return RnsPolynomial(poly.n, poly.moduli, residues, is_ntt=False)
+        return RnsPolynomial(poly.n, poly.moduli, rows, is_ntt=False)
 
     # ------------------------------------------------------------------
     # Galois automorphisms (rotation / conjugation support)
@@ -297,16 +305,10 @@ class CkksContext:
         """Apply ``m(X) -> m(X^g)`` to a coefficient-form polynomial."""
         if poly.is_ntt:
             raise ValueError("apply Galois in coefficient form")
+        be = self.backend
         mapping = self._galois_map(galois_elt)
-        out = []
-        for m, r in zip(poly.moduli, poly.residues):
-            p = m.value
-            row = [0] * poly.n
-            for i, (dest, flip) in enumerate(mapping):
-                v = r[i]
-                row[dest] = (p - v) if (flip and v) else v
-            out.append(row)
-        return RnsPolynomial(poly.n, poly.moduli, out, is_ntt=False)
+        rows = be.galois_rows(poly.moduli, poly.native_rows(be), mapping)
+        return RnsPolynomial(poly.n, poly.moduli, rows, is_ntt=False)
 
     def _galois_map_ntt(self, galois_elt: int) -> List[int]:
         """The automorphism as an *NTT-domain* gather: ``out[i] = in[src[i]]``.
@@ -343,6 +345,24 @@ class CkksContext:
         :meth:`galois_map` for the cache-protection rationale)."""
         return list(self._galois_map_ntt(galois_elt))
 
+    def galois_table_ntt(self, galois_elt: int):
+        """The NTT-domain gather table in index-array form (cached).
+
+        An ``intp`` ndarray when numpy is importable, else the cached
+        list -- either way shared, read-only by convention, and accepted
+        directly by :meth:`PolynomialBackend.permute_ntt_stack`, so hot
+        rotation paths skip the per-call list copy *and* the per-call
+        index-array conversion inside the numpy backend.
+        """
+        table = self._galois_map_ntt(galois_elt)
+        if _np is None:
+            return table
+        cached = self._galois_ntt_native_cache.get(galois_elt)
+        if cached is None:
+            cached = _np.asarray(table, dtype=_np.intp)
+            self._galois_ntt_native_cache[galois_elt] = cached
+        return cached
+
     def apply_galois_ntt(self, poly: RnsPolynomial, galois_elt: int) -> RnsPolynomial:
         """Apply ``m(X) -> m(X^g)`` directly to an NTT-form polynomial.
 
@@ -355,9 +375,11 @@ class CkksContext:
         """
         if not poly.is_ntt:
             raise ValueError("apply_galois_ntt operates on NTT-form polynomials")
-        table = self._galois_map_ntt(galois_elt)
-        rows = self.backend.permute_ntt_stack(poly.residues, table)
-        return RnsPolynomial(poly.n, poly.moduli, canonical_stack(rows), is_ntt=True)
+        be = self.backend
+        rows = be.permute_ntt_stack(
+            poly.native_rows(be), self.galois_table_ntt(galois_elt)
+        )
+        return RnsPolynomial(poly.n, poly.moduli, rows, is_ntt=True)
 
     def __repr__(self) -> str:
         return (

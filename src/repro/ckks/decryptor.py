@@ -27,7 +27,7 @@ class Decryptor:
             raise ValueError("ciphertexts are kept in NTT form")
         be = self.context.backend
         s = self.secret_key.restricted(ciphertext.moduli)
-        acc = ciphertext.polys[0].clone()
+        acc = ciphertext.polys[0].clone(backend=be)
         s_power = None
         for poly in ciphertext.polys[1:]:
             s_power = s if s_power is None else s_power.dyadic_multiply(s, backend=be)
@@ -50,11 +50,7 @@ class Decryptor:
         diff = dec.poly.sub(reference.poly, backend=ctx.backend)
         coeff = ctx.from_ntt(diff) if diff.is_ntt else diff
         basis = RnsBasis(coeff.moduli)
-        max_err = 0
-        for i in range(coeff.n):
-            v = abs(basis.compose_centered([coeff.residues[j][i] for j in range(len(coeff.moduli))]))
-            if v > max_err:
-                max_err = v
+        max_err = max(abs(v) for v in basis.compose_centered_rows(coeff.rows))
         q_bits = math.log2(basis.product)
         err_bits = math.log2(max_err) if max_err else 0.0
         return q_bits - err_bits

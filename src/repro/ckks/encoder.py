@@ -94,9 +94,18 @@ class CkksEncoder:
                     [vec, np.zeros(self.slot_count - len(vec), dtype=np.complex128)]
                 )
         coeffs = self._values_to_coeffs(vec) * scale
-        int_coeffs = [int(round(c)) for c in coeffs]
+        rounded = np.rint(coeffs)
+        if np.all(np.abs(rounded) < 2.0**62):
+            # single-word signed coefficients: hand the int64 vector to
+            # the backend's native RNS decomposition (np.rint rounds
+            # half-to-even exactly like Python round on floats)
+            int_coeffs = rounded.astype(np.int64)
+        else:  # pragma: no cover - needs an astronomically large scale
+            int_coeffs = [int(round(c)) for c in coeffs.tolist()]
         basis = ctx.basis_at_level(level_count)
-        poly = RnsPolynomial.from_int_coeffs(int_coeffs, basis.moduli)
+        poly = RnsPolynomial.from_int_coeffs(
+            int_coeffs, basis.moduli, backend=ctx.backend
+        )
         if to_ntt:
             poly = ctx.to_ntt(poly)
         return Plaintext(poly, float(scale))
@@ -108,13 +117,9 @@ class CkksEncoder:
         if poly.is_ntt:
             poly = ctx.from_ntt(poly)
         basis = RnsBasis(poly.moduli)
-        coeffs = np.array(
-            [
-                float(basis.compose_centered([poly.residues[j][i] for j in range(len(poly.moduli))]))
-                for i in range(poly.n)
-            ],
-            dtype=np.float64,
-        )
+        # exact CRT of the whole (resident) residue matrix at once
+        ints = basis.compose_centered_rows(poly.rows)
+        coeffs = np.array([float(v) for v in ints], dtype=np.float64)
         return self._coeffs_to_values(coeffs / plaintext.scale)
 
     def decode_real(self, plaintext: Plaintext) -> np.ndarray:

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.ckks.backend.base import canonical_stack
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import GaloisKey, GaloisKeySet, KswitchKey, RelinKey
 from repro.ckks.modarith import Modulus
@@ -66,10 +65,15 @@ def check_scales(a: float, b: float) -> None:
         )
 
 
-def rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
-    """Select the residue rows of a full-basis key poly for these moduli."""
+def rows_for(poly: RnsPolynomial, moduli) -> List:
+    """Select the residue rows of a full-basis key poly for these moduli.
+
+    Rows stay in the polynomial's native representation (views on an
+    array backend) -- selection is addressing, not conversion.
+    """
     index = {m.value: i for i, m in enumerate(poly.moduli)}
-    return [poly.residues[index[m.value]] for m in moduli]
+    rows = poly.rows
+    return [rows[index[m.value]] for m in moduli]
 
 
 #: Backward-compatible private alias (pre-batch-layer name).
@@ -138,7 +142,7 @@ class Evaluator:
         polys = [
             big.polys[i].add(small.polys[i], backend=be)
             if i < small.size
-            else big.polys[i].clone()
+            else big.polys[i].clone(backend=be)
             for i in range(big.size)
         ]
         return Ciphertext(polys, ct0.scale)
@@ -154,7 +158,7 @@ class Evaluator:
             if i < ct0.size and i < ct1.size:
                 polys.append(ct0.polys[i].sub(ct1.polys[i], backend=be))
             elif i < ct0.size:
-                polys.append(ct0.polys[i].clone())
+                polys.append(ct0.polys[i].clone(backend=be))
             else:
                 polys.append(ct1.polys[i].negate(backend=be))
         return Ciphertext(polys, ct0.scale)
@@ -167,15 +171,19 @@ class Evaluator:
         """Add an (NTT-form, level-matched) plaintext to ``c0``."""
         self._check_scales(ct.scale, pt.scale)
         self._check_levels(ct, pt)
-        polys = [p.clone() for p in ct.polys]
-        polys[0] = polys[0].add(pt.poly, backend=self.context.backend)
+        be = self.context.backend
+        polys = [ct.polys[0].add(pt.poly, backend=be)] + [
+            p.clone(backend=be) for p in ct.polys[1:]
+        ]
         return Ciphertext(polys, ct.scale)
 
     def sub_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         self._check_scales(ct.scale, pt.scale)
         self._check_levels(ct, pt)
-        polys = [p.clone() for p in ct.polys]
-        polys[0] = polys[0].sub(pt.poly, backend=self.context.backend)
+        be = self.context.backend
+        polys = [ct.polys[0].sub(pt.poly, backend=be)] + [
+            p.clone(backend=be) for p in ct.polys[1:]
+        ]
         return Ciphertext(polys, ct.scale)
 
     # ------------------------------------------------------------------
@@ -222,28 +230,62 @@ class Evaluator:
     # ------------------------------------------------------------------
     # rescaling (Algorithm 6)
     # ------------------------------------------------------------------
+    def _floor_divide_rows(
+        self,
+        rows_per_poly: List[List],
+        moduli: Sequence[Modulus],
+        n: int,
+    ) -> List[RnsPolynomial]:
+        """Algorithm-6 flooring of ``K`` same-basis accumulators at once.
+
+        ``rows_per_poly[k][i]`` is accumulator ``k``'s native residue row
+        under modulus ``i``.  All ``K`` polynomials flow through the
+        identical Modulus-Switch dataflow, so their per-modulus
+        transforms run as ``K``-row stacked kernels -- one launch where
+        flooring them one by one would pay ``K`` -- and every
+        intermediate stays backend-resident (no canonical-list
+        round-trip anywhere in the pipeline).
+        """
+        ctx = self.context
+        be = ctx.backend
+        last_mod = moduli[-1]
+        count = len(rows_per_poly)
+        a = be.ntt_inverse_stack(
+            ctx.tables(last_mod),
+            be.native_stack([rows[-1] for rows in rows_per_poly]),
+        )
+        out_moduli = list(moduli[:-1])
+        out_rows: List[List] = [[] for _ in range(count)]
+        for i, m in enumerate(out_moduli):
+            inv_last = ctx.rescale_inverse(last_mod, m)
+            r_ntt = be.ntt_forward_stack(
+                ctx.tables(m), be.reduce_mod_stack(m, a)
+            )
+            diff = be.sub_stack(
+                m,
+                be.native_stack([rows[i] for rows in rows_per_poly]),
+                r_ntt,
+            )
+            scaled = be.scalar_mul_stack(m, diff, inv_last)
+            for k in range(count):
+                out_rows[k].append(scaled[k])
+        return [
+            RnsPolynomial(n, out_moduli, be.from_rows(rows), is_ntt=True)
+            for rows in out_rows
+        ]
+
     def _floor_divide_last(self, poly: RnsPolynomial) -> RnsPolynomial:
         """RNS flooring: divide by the last RNS prime and drop it.
 
         Implements Algorithm 6: ``a = INTT(c_last)``; for every remaining
         prime ``p_i``: ``c'_i = [p_last^{-1} (c_i - NTT([a]_{p_i}))]``.
         """
-        ctx = self.context
-        be = ctx.backend
         if not poly.is_ntt:
             raise ValueError("flooring operates on NTT-form polynomials")
         if poly.level_count < 2:
             raise ValueError("need at least two RNS components to floor")
-        last_mod = poly.moduli[-1]
-        a = be.ntt_inverse(ctx.tables(last_mod), poly.residues[-1])
-        out_rows = []
-        out_moduli = poly.moduli[:-1]
-        for i, m in enumerate(out_moduli):
-            inv_last = ctx.rescale_inverse(last_mod, m)
-            r_ntt = be.ntt_forward(ctx.tables(m), be.reduce_mod(m, a))
-            diff = be.sub(m, poly.residues[i], r_ntt)
-            out_rows.append(be.scalar_mul(m, diff, inv_last))
-        return RnsPolynomial(poly.n, out_moduli, out_rows, is_ntt=True)
+        h = poly.native_rows(self.context.backend)
+        return self._floor_divide_rows([list(h)], poly.moduli, poly.n)[0]
 
     def _floor_divide_pair(
         self,
@@ -252,47 +294,27 @@ class Evaluator:
         moduli: Sequence[Modulus],
         n: int,
     ) -> Tuple[RnsPolynomial, RnsPolynomial]:
-        """Algorithm-6 flooring of two same-basis accumulators at once.
-
-        Both key-switch output polynomials flow through the identical
-        Modulus-Switch dataflow, so their per-modulus transforms run as
-        2-row stacked kernels -- half the kernel launches of flooring
-        them one by one, with bit-identical rows.
-        """
-        ctx = self.context
-        be = ctx.backend
-        last_mod = moduli[-1]
-        a = be.ntt_inverse_stack(
-            ctx.tables(last_mod), be.native_stack([rows0[-1], rows1[-1]])
-        )
-        out_moduli = list(moduli[:-1])
-        out0, out1 = [], []
-        for i, m in enumerate(out_moduli):
-            inv_last = ctx.rescale_inverse(last_mod, m)
-            r_ntt = be.ntt_forward_stack(
-                ctx.tables(m), be.reduce_mod_stack(m, a)
-            )
-            diff = be.sub_stack(
-                m, be.native_stack([rows0[i], rows1[i]]), r_ntt
-            )
-            scaled = canonical_stack(be.scalar_mul_stack(m, diff, inv_last))
-            out0.append(scaled[0])
-            out1.append(scaled[1])
-        return (
-            RnsPolynomial(n, out_moduli, out0, is_ntt=True),
-            RnsPolynomial(n, out_moduli, out1, is_ntt=True),
-        )
+        """Algorithm-6 flooring of two same-basis accumulators at once."""
+        f0, f1 = self._floor_divide_rows([rows0, rows1], moduli, n)
+        return f0, f1
 
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """CKKS.Rescale: floor-divide every component by the last prime.
 
         The scale drops by exactly that prime, so callers typically choose
-        primes close to the scale to keep it stable across levels.
+        primes close to the scale to keep it stable across levels.  All
+        components floor together: one ``size``-row stacked transform per
+        modulus instead of ``size`` separate Modulus-Switch pipelines.
         """
+        if not ct.is_ntt:
+            raise ValueError("flooring operates on NTT-form polynomials")
         if ct.level_count < 2:
             raise ValueError("cannot rescale at the last level")
+        be = self.context.backend
         last = ct.moduli[-1].value
-        polys = [self._floor_divide_last(p) for p in ct.polys]
+        polys = self._floor_divide_rows(
+            [list(p.native_rows(be)) for p in ct.polys], ct.moduli, ct.n
+        )
         return Ciphertext(polys, ct.scale / last)
 
     # ------------------------------------------------------------------
@@ -321,27 +343,31 @@ class Evaluator:
         level = target.level_count
         data_moduli = list(target.moduli)
         ext_moduli = data_moduli + [ctx.special_modulus]
-        # line 3, all digits: one INTT per data prime (distinct tables,
-        # so these stay single-row calls)
-        coeff = [
-            be.ntt_inverse(ctx.tables(m), target.residues[i])
-            for i, m in enumerate(data_moduli)
-        ]
+        target_rows = target.native_rows(be)
+        # line 3, all digits: one INTT per data prime, the whole digit
+        # matrix staying backend-resident
+        coeff = be.ntt_inverse_rows(
+            [ctx.tables(m) for m in data_moduli], target_rows
+        )
         stacks = []
         for j, m_j in enumerate(ext_moduli):
             pass_idx = j if j < level else None  # line 9: self-row reuse
-            rows = [coeff[i] for i in range(level) if i != pass_idx]
-            fanned = (
-                be.ntt_forward_stack(
-                    ctx.tables(m_j), be.reduce_mod_stack(m_j, rows)
+            idxs = [i for i in range(level) if i != pass_idx]
+            if not idxs:
+                # single-level basis: the only digit is the pass-through
+                stacks.append(
+                    be.native_stack(be.select_rows(target_rows, [pass_idx]))
                 )
-                if rows
-                else []
+                continue
+            fanned = be.ntt_forward_stack(
+                ctx.tables(m_j),
+                be.reduce_mod_stack(m_j, be.select_rows(coeff, idxs)),
             )
-            full = list(fanned)
             if pass_idx is not None:
-                full.insert(pass_idx, target.residues[pass_idx])
-            stacks.append(be.native_stack(full))
+                fanned = be.insert_row(
+                    fanned, pass_idx, be.get_row(target_rows, pass_idx)
+                )
+            stacks.append(be.native_stack(fanned))
         return KeySwitchDigits(target.n, data_moduli, ext_moduli, stacks)
 
     def apply_keyswitch(
@@ -411,19 +437,23 @@ class Evaluator:
         for i in range(level):
             p_i = data_moduli[i]
             # line 3: back to coefficient domain for this component
-            a = be.ntt_inverse(ctx.tables(p_i), target.residues[i])
+            a = be.ntt_inverse(ctx.tables(p_i), target.row(i))
             d0, d1 = ksk.digit(i)
             d0_rows = _rows_for(d0, ext_moduli)
             d1_rows = _rows_for(d1, ext_moduli)
             for j, m_j in enumerate(ext_moduli):
                 if m_j.value == p_i.value:
-                    b_ntt = target.residues[i]  # line 9: already in NTT form
+                    b_ntt = target.row(i)  # line 9: already in NTT form
                 else:
                     b = be.reduce_mod(m_j, a)  # line 6: Mod(a, p_j)
                     b_ntt = be.ntt_forward(ctx.tables(m_j), b)  # line 7
                 # lines 11-12 / 16-17: dyadic multiply-accumulate
-                acc0.residues[j] = be.dyadic_mac(m_j, acc0.residues[j], b_ntt, d0_rows[j])
-                acc1.residues[j] = be.dyadic_mac(m_j, acc1.residues[j], b_ntt, d1_rows[j])
+                acc0.set_row(
+                    j, be.dyadic_mac(m_j, acc0.row(j), b_ntt, d0_rows[j]), backend=be
+                )
+                acc1.set_row(
+                    j, be.dyadic_mac(m_j, acc1.row(j), b_ntt, d1_rows[j]), backend=be
+                )
         # line 19: Floor by the special prime (Modulus Switch)
         return self._floor_divide_last(acc0), self._floor_divide_last(acc1)
 
@@ -490,7 +520,7 @@ class Evaluator:
         """
         ctx = self.context
         be = ctx.backend
-        table = ctx.galois_map_ntt(galois_elt)
+        table = ctx.galois_table_ntt(galois_elt)
         permuted = KeySwitchDigits(
             digits.n,
             digits.data_moduli,

@@ -98,8 +98,9 @@ class KswitchKey:
             for i in range(level):
                 d0, d1 = self.digits[i]
                 row_index = {mm.value: r for r, mm in enumerate(d0.moduli)}
-                rows0.append(d0.residues[row_index[m.value]])
-                rows1.append(d1.residues[row_index[m.value]])
+                # native row views: stacking is addressing, not boxing
+                rows0.append(d0.row(row_index[m.value]))
+                rows1.append(d1.row(row_index[m.value]))
             col0.append(backend.native_stack(rows0))
             col1.append(backend.native_stack(rows1))
         entry = (col0, col1)
@@ -188,8 +189,10 @@ class KeyGenerator:
             # Add [P]_{p_i} * [target]_{p_i} to residue row i of b only.
             mod_i = key_moduli[i]
             factor = special.value % mod_i.value
-            b.residues[i] = be.scalar_mac(
-                mod_i, b.residues[i], target_ntt.residues[i], factor
+            b.set_row(
+                i,
+                be.scalar_mac(mod_i, b.row(i), target_ntt.row(i), factor),
+                backend=be,
             )
             digits.append((b, a))
         return digits

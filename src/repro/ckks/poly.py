@@ -1,24 +1,37 @@
 """Polynomials over ``Z_p[X]/(X^n+1)`` and their RNS form.
 
 An :class:`RnsPolynomial` is the central data object of the library: a
-vector of residue polynomials (one per RNS modulus), each a list of ``n``
-coefficients, together with a flag recording whether the data is in NTT
-(evaluation) form.  HEAX and SEAL keep ciphertexts in NTT form by default
-so that multiplication is dyadic (Algorithm 5); the flag lets the
-evaluator check domain discipline instead of silently producing garbage.
+vector of residue polynomials (one per RNS modulus), together with a
+flag recording whether the data is in NTT (evaluation) form.  HEAX and
+SEAL keep ciphertexts in NTT form by default so that multiplication is
+dyadic (Algorithm 5); the flag lets the evaluator check domain
+discipline instead of silently producing garbage.
+
+Data residency
+--------------
+Residue data is held in an *opaque backend-native handle*
+(``self.rows``): a contiguous ``(L, n)`` ``uint64`` matrix on the numpy
+backend, canonical lists on the reference backend.  Every arithmetic
+method dispatches whole matrices to the backend's ``*_rows`` kernels,
+so chained operations never round-trip through Python lists -- the
+software analogue of HEAX keeping operands resident in on-chip
+memories across pipeline stages (paper Section 4, Figure 2).  The
+historical ``.residues`` attribute survives as an **explicit
+materialize-to-lists accessor** (a snapshot copy) for tests, debugging
+and wire-format compatibility; code that needs to *write* a row uses
+:meth:`RnsPolynomial.set_row`.
 
 :class:`Plaintext` and :class:`Ciphertext` wrap RNS polynomials with the
 CKKS metadata (scale, level).
 
-All coefficient-level arithmetic dispatches to a polynomial backend
-(:mod:`repro.ckks.backend`): residue rows stay plain lists of ints --
-the canonical interchange format -- while the backend is free to
-compute on them however it likes (the numpy backend lifts each row into
-a ``uint64`` array, runs the kernel vectorized, and lowers the result).
 Each operation takes an optional ``backend`` argument; when omitted,
 the process-wide active backend is used.  Code that holds a
 :class:`repro.ckks.context.CkksContext` passes ``ctx.backend`` so that
-a context-pinned backend is honored end to end.
+a context-pinned backend is honored end to end.  A polynomial created
+under one backend may be consumed under another: handles are
+re-homed on first use (``Backend.from_rows`` is idempotent and
+value-preserving), at a conversion cost the
+:class:`repro.ckks.backend.CountingBackend` makes visible.
 """
 
 from __future__ import annotations
@@ -26,19 +39,20 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.ckks.backend import get_backend
+from repro.ckks.backend.base import canonical_stack
 from repro.ckks.modarith import Modulus
 
 
 class RnsPolynomial:
     """A polynomial in ``R_q`` stored as per-prime residue polynomials."""
 
-    __slots__ = ("n", "moduli", "residues", "is_ntt")
+    __slots__ = ("n", "moduli", "rows", "is_ntt")
 
     def __init__(
         self,
         n: int,
         moduli: Sequence[Modulus],
-        residues: List[List[int]] = None,
+        residues=None,
         is_ntt: bool = False,
     ):
         self.n = n
@@ -47,29 +61,82 @@ class RnsPolynomial:
             residues = [[0] * n for _ in self.moduli]
         if len(residues) != len(self.moduli):
             raise ValueError("residue component count must match moduli count")
-        for r in residues:
-            if len(r) != n:
+        shape = getattr(residues, "shape", None)
+        if shape is not None:
+            if len(shape) != 2 or shape[1] != n:
                 raise ValueError("residue polynomial has wrong length")
-        self.residues = residues
+        else:
+            for r in residues:
+                if len(r) != n:
+                    raise ValueError("residue polynomial has wrong length")
+        #: Opaque residue-matrix handle (backend-native representation).
+        self.rows = residues
         self.is_ntt = is_ntt
+
+    # ------------------------------------------------------------------
+    # residency / row access
+    # ------------------------------------------------------------------
+    @property
+    def residues(self) -> List[List[int]]:
+        """Materialized canonical rows: a list-of-lists-of-int *snapshot*.
+
+        Compatibility/inspection accessor only -- mutating the returned
+        lists never affects the polynomial (use :meth:`set_row`), and
+        every access pays a full lower-to-lists conversion.  Hot paths
+        go through the native handle instead.
+        """
+        return canonical_stack(self.rows)
+
+    def native_rows(self, backend=None):
+        """The residue matrix in ``backend``'s native form (cached).
+
+        Re-homes ``self.rows`` in place, so repeated operations under
+        one backend pay at most one boundary conversion.
+        """
+        be = backend if backend is not None else get_backend()
+        self.rows = be.from_rows(self.rows)
+        return self.rows
+
+    def row(self, i: int):
+        """Residue row ``i`` in its current native form (may be a view).
+
+        Treat as read-only; materialize with :meth:`component` instead
+        when a mutable canonical list is wanted.
+        """
+        return self.rows[i]
+
+    def set_row(self, i: int, row, backend=None) -> None:
+        """Overwrite residue row ``i`` (the write API tests/keygen use)."""
+        be = backend if backend is not None else get_backend()
+        be.set_row(self.rows, i, row)
+
+    def component(self, i: int) -> List[int]:
+        """Residue polynomial for modulus ``i`` (a canonical list copy)."""
+        r = self.rows[i]
+        return r.tolist() if hasattr(r, "tolist") else [int(x) for x in r]
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
     def from_int_coeffs(
-        cls, coeffs: Sequence[int], moduli: Sequence[Modulus], is_ntt: bool = False
+        cls,
+        coeffs: Sequence[int],
+        moduli: Sequence[Modulus],
+        is_ntt: bool = False,
+        backend=None,
     ) -> "RnsPolynomial":
         """Reduce signed integer coefficients into every RNS component."""
+        be = backend if backend is not None else get_backend()
         n = len(coeffs)
-        residues = get_backend().decompose(list(moduli), coeffs)
-        return cls(n, moduli, residues, is_ntt)
+        return cls(n, moduli, be.decompose_native(list(moduli), coeffs), is_ntt)
 
-    def clone(self) -> "RnsPolynomial":
+    def clone(self, backend=None) -> "RnsPolynomial":
+        be = backend if backend is not None else get_backend()
         return RnsPolynomial(
             self.n,
             self.moduli,
-            [list(r) for r in self.residues],
+            be.copy_rows(self.rows),
             self.is_ntt,
         )
 
@@ -94,34 +161,31 @@ class RnsPolynomial:
     def add(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         self._check_compatible(other)
         be = backend if backend is not None else get_backend()
-        out = [
-            be.add(m, a, b)
-            for m, a, b in zip(self.moduli, self.residues, other.residues)
-        ]
+        out = be.add_rows(
+            self.moduli, self.native_rows(be), other.native_rows(be)
+        )
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     def sub(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         self._check_compatible(other)
         be = backend if backend is not None else get_backend()
-        out = [
-            be.sub(m, a, b)
-            for m, a, b in zip(self.moduli, self.residues, other.residues)
-        ]
+        out = be.sub_rows(
+            self.moduli, self.native_rows(be), other.native_rows(be)
+        )
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     def negate(self, backend=None) -> "RnsPolynomial":
         be = backend if backend is not None else get_backend()
-        out = [be.negate(m, a) for m, a in zip(self.moduli, self.residues)]
+        out = be.negate_rows(self.moduli, self.native_rows(be))
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     def dyadic_multiply(self, other: "RnsPolynomial", backend=None) -> "RnsPolynomial":
         """Coefficient-wise product; equals ring product in NTT form."""
         self._check_compatible(other)
         be = backend if backend is not None else get_backend()
-        out = [
-            be.dyadic_mul(m, a, b)
-            for m, a, b in zip(self.moduli, self.residues, other.residues)
-        ]
+        out = be.dyadic_mul_rows(
+            self.moduli, self.native_rows(be), other.native_rows(be)
+        )
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     def multiply_scalar(self, scalars, backend=None) -> "RnsPolynomial":
@@ -129,29 +193,27 @@ class RnsPolynomial:
         if isinstance(scalars, int):
             scalars = [scalars] * len(self.moduli)
         be = backend if backend is not None else get_backend()
-        out = [
-            be.scalar_mul(m, a, s % m.value)
-            for m, s, a in zip(self.moduli, scalars, self.residues)
-        ]
+        out = be.scalar_mul_rows(
+            self.moduli,
+            self.native_rows(be),
+            [s % m.value for s, m in zip(scalars, self.moduli)],
+        )
         return RnsPolynomial(self.n, self.moduli, out, self.is_ntt)
 
     # ------------------------------------------------------------------
     # basis manipulation
     # ------------------------------------------------------------------
-    def drop_last_component(self) -> "RnsPolynomial":
+    def drop_last_component(self, backend=None) -> "RnsPolynomial":
         """Remove the last RNS component (used after rescaling)."""
         if len(self.moduli) <= 1:
             raise ValueError("cannot drop the only RNS component")
+        be = backend if backend is not None else get_backend()
         return RnsPolynomial(
             self.n,
             self.moduli[:-1],
-            [list(r) for r in self.residues[:-1]],
+            be.select_rows(self.rows, range(len(self.moduli) - 1)),
             self.is_ntt,
         )
-
-    def component(self, i: int) -> List[int]:
-        """Residue polynomial for modulus ``i`` (a list copy)."""
-        return list(self.residues[i])
 
     def __eq__(self, other) -> bool:
         return (
@@ -159,7 +221,7 @@ class RnsPolynomial:
             and self.n == other.n
             and self.is_ntt == other.is_ntt
             and [m.value for m in self.moduli] == [m.value for m in other.moduli]
-            and self.residues == other.residues
+            and canonical_stack(self.rows) == canonical_stack(other.rows)
         )
 
     def __repr__(self) -> str:
@@ -169,20 +231,27 @@ class RnsPolynomial:
         )
 
 
-def restrict_to_moduli(poly: RnsPolynomial, moduli: Sequence[Modulus]) -> RnsPolynomial:
+def restrict_to_moduli(
+    poly: RnsPolynomial, moduli: Sequence[Modulus], backend=None
+) -> RnsPolynomial:
     """Project an RNS polynomial onto a sub-basis of its moduli.
 
     Because each RNS component is independent (the ring isomorphism of
     Section 2), restricting to fewer primes is pure row selection -- this
     is how level-``l`` operations reuse keys generated at the top level.
+    The selection stays in the polynomial's native representation (row
+    views on an array backend), so no conversion is paid.
     """
+    be = backend if backend is not None else get_backend()
     index = {m.value: i for i, m in enumerate(poly.moduli)}
-    rows = []
+    indices = []
     for m in moduli:
         if m.value not in index:
             raise ValueError(f"modulus {m.value} not present in polynomial")
-        rows.append(list(poly.residues[index[m.value]]))
-    return RnsPolynomial(poly.n, list(moduli), rows, poly.is_ntt)
+        indices.append(index[m.value])
+    return RnsPolynomial(
+        poly.n, list(moduli), be.select_rows(poly.rows, indices), poly.is_ntt
+    )
 
 
 class Plaintext:

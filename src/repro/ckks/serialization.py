@@ -12,6 +12,13 @@ Format: a small fixed header (magic, version, kind, n, component/basis
 counts, NTT flag, scale as IEEE-754) followed by residue polynomials as
 little-endian 8-byte words -- matching the 64-bit wire word the paper's
 bandwidth arithmetic assumes.
+
+Packing and unpacking go straight between wire bytes and the backend's
+*native residue matrices* (:meth:`PolynomialBackend.pack_rows` /
+``unpack_rows``): the serving layer (de)serializes every request, and
+with backend-resident polynomial storage there is no intermediate
+list-of-int step in either direction -- deserialized ciphertexts arrive
+already resident, serialized ones pack from the resident matrix.
 """
 
 from __future__ import annotations
@@ -20,18 +27,15 @@ import math
 import struct
 from typing import List, Tuple
 
+from repro.ckks.backend import get_backend
+from repro.ckks.backend.base import ROW_WORD_BYTES
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import KswitchKey
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
 
-try:  # optional fast path: one array pass per residue row instead of
-    import numpy as _np  # n Python int conversions (the serving layer
-except ImportError:  # (de)serializes every request, so this is hot)
-    _np = None
-
 MAGIC = b"HEAX"
 VERSION = 1
-WORD_BYTES = 8
+WORD_BYTES = ROW_WORD_BYTES
 
 _KIND_CIPHERTEXT = 1
 _KIND_PLAINTEXT = 2
@@ -53,34 +57,21 @@ def ciphertext_wire_bytes(n: int, size: int, level_count: int) -> int:
     return size * level_count * polynomial_wire_bytes(n)
 
 
-def _pack_residues(poly: RnsPolynomial, out: List[bytes]) -> None:
-    for row in poly.residues:
-        if _np is not None:
-            out.append(_np.asarray(row, dtype=_np.uint64).astype("<u8").tobytes())
-        else:
-            out.append(b"".join(v.to_bytes(WORD_BYTES, "little") for v in row))
+def _pack_residues(poly: RnsPolynomial, out: List[bytes], backend=None) -> None:
+    """Append the polynomial's packed rows, straight from the native matrix."""
+    be = backend if backend is not None else get_backend()
+    out.append(be.pack_rows(poly.rows))
 
 
-def _unpack_residues(data: memoryview, offset: int, n: int, count: int):
-    """Read ``count`` residue rows of ``n`` words each.
+def _unpack_residues(data: memoryview, offset: int, n: int, count: int, backend):
+    """Read ``count`` residue rows of ``n`` words into a native handle.
 
     Callers are responsible for having validated the total payload
     length first (see :func:`_check_payload`): slicing a short buffer
     would otherwise yield short rows whose missing words decode as 0.
     """
     end = offset + count * n * WORD_BYTES
-    if _np is not None:
-        flat = _np.frombuffer(data[offset:end], dtype="<u8")
-        return [r.tolist() for r in flat.reshape(count, n)], end
-    rows = []
-    for _ in range(count):
-        row = [
-            int.from_bytes(data[offset + i * WORD_BYTES : offset + (i + 1) * WORD_BYTES], "little")
-            for i in range(n)
-        ]
-        rows.append(row)
-        offset += n * WORD_BYTES
-    return rows, offset
+    return backend.unpack_rows(data[offset:end], count, n), end
 
 
 def serialize_ciphertext(ct: Ciphertext) -> bytes:
@@ -164,12 +155,13 @@ def deserialize_ciphertext(data: bytes, context: CkksContext) -> Ciphertext:
         raise ValueError(f"ring mismatch: {n} vs context {context.n}")
     _check_scale(scale)
     _check_payload(data, n, comps * rns)
+    be = context.backend
     moduli = context.basis_at_level(rns).moduli
     view = memoryview(data)
     offset = _HEADER.size
     polys = []
     for _ in range(comps):
-        rows, offset = _unpack_residues(view, offset, n, rns)
+        rows, offset = _unpack_residues(view, offset, n, rns, be)
         polys.append(RnsPolynomial(n, moduli, rows, is_ntt))
     return Ciphertext(polys, scale)
 
@@ -185,7 +177,9 @@ def deserialize_plaintext(data: bytes, context: CkksContext) -> Plaintext:
     _check_scale(scale)
     _check_payload(data, n, rns)
     moduli = context.basis_at_level(rns).moduli
-    rows, _ = _unpack_residues(memoryview(data), _HEADER.size, n, rns)
+    rows, _ = _unpack_residues(
+        memoryview(data), _HEADER.size, n, rns, context.backend
+    )
     return Plaintext(RnsPolynomial(n, moduli, rows, is_ntt), scale)
 
 
@@ -213,12 +207,13 @@ def deserialize_kswitch_key(data: bytes, context: CkksContext) -> KswitchKey:
     if rns != len(moduli):
         raise ValueError("key basis size mismatch")
     _check_payload(data, n, digits * 2 * rns)
+    be = context.backend
     view = memoryview(data)
     offset = _HEADER.size
     out = []
     for _ in range(digits):
-        rows_b, offset = _unpack_residues(view, offset, n, rns)
-        rows_a, offset = _unpack_residues(view, offset, n, rns)
+        rows_b, offset = _unpack_residues(view, offset, n, rns, be)
+        rows_a, offset = _unpack_residues(view, offset, n, rns, be)
         out.append(
             (
                 RnsPolynomial(n, moduli, rows_b, True),

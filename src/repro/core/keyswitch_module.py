@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.ckks.context import CkksContext
+from repro.ckks.evaluator import rows_for as _rows_for
 from repro.ckks.keys import KswitchKey
 from repro.ckks.poly import RnsPolynomial
 from repro.core.arch import KeySwitchArchitecture
@@ -107,19 +108,23 @@ class KeySwitchModuleSim:
         for i in range(lc):
             p_i = data_moduli[i]
             # --- INTT0 -----------------------------------------------
-            a = be.ntt_inverse(ctx.tables(p_i), target.residues[i])
+            a = be.ntt_inverse(ctx.tables(p_i), target.row(i))
             # --- NTT0 fan-out + DyadMult accumulation ----------------
             for j, m_j in enumerate(ext_moduli):
                 if m_j.value == p_i.value:
                     # the synchronized input-poly DyadMult module
-                    b_ntt = target.residues[i]
+                    b_ntt = target.row(i)
                 else:
                     b_ntt = be.ntt_forward(ctx.tables(m_j), be.reduce_mod(m_j, a))
-                acc0.residues[j] = be.dyadic_mac(
-                    m_j, acc0.residues[j], b_ntt, key_rows0[i][j]
+                acc0.set_row(
+                    j,
+                    be.dyadic_mac(m_j, acc0.row(j), b_ntt, key_rows0[i][j]),
+                    backend=be,
                 )
-                acc1.residues[j] = be.dyadic_mac(
-                    m_j, acc1.residues[j], b_ntt, key_rows1[i][j]
+                acc1.set_row(
+                    j,
+                    be.dyadic_mac(m_j, acc1.row(j), b_ntt, key_rows1[i][j]),
+                    backend=be,
                 )
 
         # --- Modulus Switch (INTT1 -> NTT1 -> MS) ---------------------
@@ -133,13 +138,13 @@ class KeySwitchModuleSim:
         ctx = self.context
         be = ctx.backend
         special = acc.moduli[-1]
-        a = be.ntt_inverse(ctx.tables(special), acc.residues[-1])
+        a = be.ntt_inverse(ctx.tables(special), acc.row(acc.level_count - 1))
         out_moduli = acc.moduli[:-1]
         rows = []
         for i, m in enumerate(out_moduli):
             inv_sp = ctx.rescale_inverse(special, m)
             r_ntt = be.ntt_forward(ctx.tables(m), be.reduce_mod(m, a))
-            diff = be.sub(m, acc.residues[i], r_ntt)
+            diff = be.sub(m, acc.row(i), r_ntt)
             rows.append(be.scalar_mul(m, diff, inv_sp))
         return RnsPolynomial(acc.n, out_moduli, rows, is_ntt=True)
 
@@ -303,6 +308,3 @@ class KeySwitchModuleSim:
         return {"f1_input_poly_buffers": self.arch.f1, "f2_dyad_output_buffers": self.arch.f2}
 
 
-def _rows_for(poly: RnsPolynomial, moduli) -> List[List[int]]:
-    index = {m.value: i for i, m in enumerate(poly.moduli)}
-    return [poly.residues[index[m.value]] for m in moduli]

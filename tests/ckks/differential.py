@@ -183,11 +183,17 @@ def run_program(
     k: int = 3,
     batch_count: int = 3,
     base_seed: int = 1000,
+    rematerialize: bool = False,
 ) -> Dict:
     """Execute a program in one (backend, mode) combination.
 
     Returns per-step canonical residue rows for every batch element,
     the final decoded slot vectors, and the plaintext-model expectation.
+
+    With ``rematerialize=True`` every ciphertext is torn down to
+    canonical Python lists and rebuilt after each step, forcing the
+    list-interchange path; results must stay bit-identical to the
+    backend-resident run (the residency property test).
     """
     value_rng = random.Random(base_seed)  # same value stream in every run
     with use_backend(backend_name):
@@ -321,6 +327,12 @@ def run_program(
                 elif op == "rescale":
                     state = [ev.rescale(c) for c in state]
 
+            if rematerialize:
+                if batched:
+                    state = _join([_rematerialized(c) for c in state.split()])
+                else:
+                    state = [_rematerialized(c) for c in state]
+
             for b, model in enumerate(models):
                 model.apply(op, operand_vals[b] if operand_vals else None)
             snapshot()
@@ -341,6 +353,21 @@ def _join(cts):
     from repro.ckks.batch import CiphertextBatch
 
     return CiphertextBatch.from_ciphertexts(cts)
+
+
+def _rematerialized(ct):
+    """Rebuild a ciphertext from canonical Python-list rows (the
+    materialized `.residues` snapshot), discarding any backend-native
+    residency."""
+    from repro.ckks.poly import Ciphertext, RnsPolynomial
+
+    return Ciphertext(
+        [
+            RnsPolynomial(p.n, p.moduli, p.residues, p.is_ntt)
+            for p in ct.polys
+        ],
+        ct.scale,
+    )
 
 
 def assert_differential(

@@ -24,8 +24,7 @@ class TestKeyGeneration:
         from repro.ckks.rns import RnsBasis
 
         basis = RnsBasis(s.moduli)
-        for i in range(s.n):
-            v = basis.compose_centered([s.residues[j][i] for j in range(len(s.moduli))])
+        for v in basis.compose_centered_rows(s.rows):
             assert v in (-1, 0, 1)
 
     def test_public_key_decrypts_to_noise(self, toy_context, keygen):
@@ -37,10 +36,7 @@ class TestKeyGeneration:
         from repro.ckks.rns import RnsBasis
 
         basis = RnsBasis(coeff.moduli)
-        for i in range(coeff.n):
-            v = basis.compose_centered(
-                [coeff.residues[j][i] for j in range(len(coeff.moduli))]
-            )
+        for v in basis.compose_centered_rows(coeff.rows):
             assert abs(v) < 64  # 6-sigma truncated gaussian
 
     def test_relin_key_digit_count(self, toy_context, relin_key):
@@ -143,10 +139,7 @@ class TestKeySwitchCore:
         from repro.ckks.rns import RnsBasis
 
         basis = RnsBasis(err.moduli)
-        max_err = max(
-            abs(basis.compose_centered([err.residues[j][i] for j in range(len(err.moduli))]))
-            for i in range(err.n)
-        )
+        max_err = max(abs(v) for v in basis.compose_centered_rows(err.rows))
         # noise ~ n * p_i * e / P plus flooring error: comfortably below
         # a few thousand for the toy parameters, astronomically below q.
         assert max_err < basis.product // 2**40

@@ -14,10 +14,7 @@ def measured_noise_bound(toy_context, decryptor, ct, reference_pt):
     diff = dec.poly.sub(reference_pt.poly)
     coeff = toy_context.from_ntt(diff)
     basis = RnsBasis(coeff.moduli)
-    return max(
-        abs(basis.compose_centered([coeff.residues[j][i] for j in range(len(coeff.moduli))]))
-        for i in range(coeff.n)
-    )
+    return max(abs(v) for v in basis.compose_centered_rows(coeff.rows))
 
 
 @pytest.fixture(scope="module")

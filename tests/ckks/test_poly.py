@@ -43,8 +43,25 @@ class TestConstruction:
     def test_clone_is_deep(self):
         p = rand_rns(0)
         q = p.clone()
-        q.residues[0][0] = (q.residues[0][0] + 1) % MODULI[0].value
+        row = q.component(0)
+        row[0] = (row[0] + 1) % MODULI[0].value
+        q.set_row(0, row)
         assert p != q
+
+    def test_residues_is_a_materialized_snapshot(self):
+        """The compat accessor lowers to lists; writing to the snapshot
+        must never reach the polynomial (use set_row for that)."""
+        p = rand_rns(42)
+        snapshot = p.residues
+        snapshot[0][0] = (snapshot[0][0] + 1) % MODULI[0].value
+        assert p.residues != snapshot
+        assert p.residues == rand_rns(42).residues
+
+    def test_set_row_writes_through(self):
+        p = rand_rns(43)
+        new_row = [(v + 1) % MODULI[1].value for v in p.component(1)]
+        p.set_row(1, new_row)
+        assert p.component(1) == new_row
 
 
 class TestArithmetic:
@@ -137,7 +154,9 @@ class TestContainers:
 
     def test_ciphertext_clone_independent(self):
         ct = Ciphertext([rand_rns(22, is_ntt=True), rand_rns(23, is_ntt=True)], 1.0)
-        original_value = ct.polys[0].residues[0][0]
+        original_value = ct.polys[0].component(0)[0]
         cl = ct.clone()
-        cl.polys[0].residues[0][0] = (original_value + 1) % MODULI[0].value
-        assert ct.polys[0].residues[0][0] == original_value
+        row = cl.polys[0].component(0)
+        row[0] = (original_value + 1) % MODULI[0].value
+        cl.polys[0].set_row(0, row)
+        assert ct.polys[0].component(0)[0] == original_value

@@ -113,3 +113,64 @@ class TestBasisManipulation:
         bigger = basis.extend(extra)
         assert len(bigger) == 4
         assert bigger.moduli[-1].value == extra.value
+
+
+class TestComposeRows:
+    """Whole-vector CRT composition (the decode fast path)."""
+
+    def _rand_rows(self, basis, seed, n=64):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            [rng.randrange(m.value) for _ in range(n)] for m in basis.moduli
+        ]
+
+    def test_compose_rows_matches_scalar_compose(self, basis):
+        rows = self._rand_rows(basis, 1)
+        got = basis.compose_rows(rows)
+        want = [
+            basis.compose([rows[j][i] for j in range(len(basis))])
+            for i in range(64)
+        ]
+        assert got == want
+
+    def test_compose_centered_rows_matches_scalar(self, basis):
+        rows = self._rand_rows(basis, 2)
+        got = basis.compose_centered_rows(rows)
+        want = [
+            basis.compose_centered([rows[j][i] for j in range(len(basis))])
+            for i in range(64)
+        ]
+        assert got == want
+
+    def test_compose_rows_single_modulus(self):
+        b = RnsBasis(make_modulus_chain(64, [30]))
+        rows = self._rand_rows(b, 3)
+        assert b.compose_rows(rows) == rows[0]
+
+    def test_compose_rows_big_prime_fallback(self):
+        """Primes outside the word-size-safe envelope route through the
+        exact scalar path (same values, no float Barrett)."""
+        b = RnsBasis(make_modulus_chain(64, [60, 59], word_bits=64))
+        rows = self._rand_rows(b, 4)
+        got = b.compose_rows(rows)
+        want = [
+            b.compose([rows[j][i] for j in range(len(b))]) for i in range(64)
+        ]
+        assert got == want
+
+    def test_compose_rows_big_prime_fallback_with_array_rows(self):
+        """Regression: array-resident rows hitting the scalar fallback
+        must materialize to Python ints first -- np.uint64 scalars in
+        the big-int CRT sum overflow instead of widening."""
+        np = pytest.importorskip("numpy")
+        b = RnsBasis(make_modulus_chain(64, [60, 59], word_bits=64))
+        rows = self._rand_rows(b, 7)
+        arr = np.asarray(rows, dtype=np.uint64)
+        assert b.compose_rows(arr) == b.compose_rows(rows)
+        assert b.compose_centered_rows(arr) == b.compose_centered_rows(rows)
+
+    def test_compose_rows_shape_check(self, basis):
+        with pytest.raises(ValueError):
+            basis.compose_rows([[0] * 64])

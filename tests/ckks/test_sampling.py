@@ -84,10 +84,7 @@ class TestPolyWrappers:
         poly = s.ternary_poly(64, MODULI)
         assert not poly.is_ntt
         basis = RnsBasis(MODULI)
-        for i in range(64):
-            v = basis.compose_centered(
-                [poly.residues[j][i] for j in range(len(MODULI))]
-            )
+        for v in basis.compose_centered_rows(poly.rows):
             assert v in (-1, 0, 1)
 
     def test_gaussian_poly_residues_consistent(self):
@@ -95,8 +92,5 @@ class TestPolyWrappers:
         poly = s.gaussian_poly(64, MODULI)
         basis = RnsBasis(MODULI)
         bound = math.ceil(ERROR_TRUNCATION_SIGMAS * ERROR_STDDEV)
-        for i in range(64):
-            v = basis.compose_centered(
-                [poly.residues[j][i] for j in range(len(MODULI))]
-            )
+        for v in basis.compose_centered_rows(poly.rows):
             assert abs(v) <= bound
