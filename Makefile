@@ -7,6 +7,7 @@
 #   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
 #   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
 #   make bench-serving  serving-layer gate (dynamic batching vs sequential service)
+#   make bench-serving-scale  sharded front-door gate (1 worker vs 4-worker pool)
 #   make bench-hoisting hoisted-rotation gate (decompose-once vs per-rotation keyswitch)
 #   make bench-residency data-residency gate (resident storage vs list interchange)
 #   make vectors        regenerate the golden fixtures under tests/vectors/
@@ -16,7 +17,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-hoisting bench-residency vectors
+.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +40,9 @@ bench-batch:
 
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py -q -s
+
+bench-serving-scale:
+	$(PYTHON) -m pytest benchmarks/bench_serving_scale.py -q -s
 
 bench-hoisting:
 	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_keyswitch_hoisting.py -q -s

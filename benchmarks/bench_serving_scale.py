@@ -1,0 +1,264 @@
+"""Sharded serving scale: aggregate throughput from 1 worker to 4.
+
+The cluster front-door (:mod:`repro.serving.cluster`) shards tenants
+across workers so the fleet's aggregate throughput grows with worker
+count while each worker's batch lanes stay as full as a single-server
+deployment would keep them.  This bench serves one deterministic
+multi-tenant trace (8 tenants, placed 2-per-worker by the consistent
+hash ring) through clusters of 1 and 4 workers and measures both sides
+of the claim:
+
+* **throughput scaling** -- in the repo's "execute the math, simulate
+  the system" methodology (cf. ``HostScheduler.run_executed``): every
+  flush's compute seconds are genuinely measured on this machine, and a
+  worker pool's makespan is the *maximum per-worker busy time*, because
+  workers share no state (own backend, own sessions, own lanes) and run
+  concurrently in deployment.  This host has a single CPU core, so the
+  parallel makespan -- not wall time, which serializes the workers --
+  is the deployment-faithful aggregate number.  Wall time and a real
+  4-process run are reported alongside as informational.
+* **bit identity** -- the 4-worker cluster's response frames are
+  byte-identical per client to the 1-worker cluster's: sharding is
+  transparent to clients.
+
+Acceptance gate: makespan-throughput at 4 workers >= 2x the 1-worker
+cluster for homogeneous square (mult+relin) traffic at n = 1024 on the
+numpy backend, responses bit-identical, with p50/p95/p99 request
+latencies recorded in ``results/BENCH_serving_scale.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_scale.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ckks.backend import available_backends, use_backend
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.serving import framing
+from repro.serving.cluster import ServingCluster
+from repro.serving.traffic import multi_tenant_traffic
+from repro.serving.worker import (
+    LocalWorkerHandle,
+    ProcessWorkerHandle,
+    WorkerSpec,
+)
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available on this host",
+)
+
+N, K = 1024, 3
+
+#: 8 tenants place 2-per-worker on the 4-worker ring (deterministic:
+#: sha256 placement), so the ideal makespan scale is the full 4x and the
+#: gate below has real headroom.
+TENANTS = 8
+CLIENTS_PER_TENANT = 1
+REQUESTS_PER_CLIENT = 8  # one full batch-8 lane per tenant
+
+WORKER_POOL = 4
+MIN_THROUGHPUT_SCALE = 2.0
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _build_traffic(context):
+    return multi_tenant_traffic(
+        context,
+        tenant_count=TENANTS,
+        clients_per_tenant=CLIENTS_PER_TENANT,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        ops=[("square", 0)],
+    )
+
+
+def _serve_cluster(context, worker_count, make_handle):
+    """Serve the canonical trace; return measured timings + responses."""
+    cluster = ServingCluster(make_handle, worker_count=worker_count)
+    try:
+        tenants, clients, trace = _build_traffic(context)
+        for tenant in tenants:
+            tenant.register_with(cluster)
+        for client in clients:
+            client.connect_cluster(cluster)
+
+        t0 = time.perf_counter()
+        for client_id, blob in trace:
+            cluster.receive(client_id, blob)
+        deadline = time.monotonic() + 120
+        while cluster.inflight_count and time.monotonic() < deadline:
+            cluster.pump()
+        cluster.drain()
+        wall = time.perf_counter() - t0
+        assert cluster.inflight_count == 0, "requests lost in flight"
+
+        responses = {}
+        for client in clients:
+            out = cluster.take_outbox(client.client_id)
+            assert all(
+                framing.decode_frame(b).kind == framing.RESPONSE for b in out
+            )
+            responses[client.client_id] = sorted(out)
+        assert sum(len(v) for v in responses.values()) == len(trace)
+
+        stats = cluster.worker_stats()
+        busy = {
+            wid: sum(f.seconds for f in s.flushes) for wid, s in stats.items()
+        }
+        latencies = sorted(cluster.report.latencies)
+        return {
+            "wall_seconds": wall,
+            "busy_seconds": busy,
+            # workers share nothing and run concurrently in deployment:
+            # the pool finishes when its busiest worker does
+            "makespan_seconds": max(busy.values()),
+            "compute_seconds": sum(busy.values()),
+            "flushes": [f for s in stats.values() for f in s.flushes],
+            "responses": responses,
+            "p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "p99_ms": _percentile(latencies, 0.99) * 1e3,
+            "request_count": len(trace),
+        }
+    finally:
+        cluster.stop()
+
+
+def _measure(context, worker_count):
+    spec = WorkerSpec(
+        params=context.params, backend="numpy", max_delay_seconds=0.0
+    )
+    return _serve_cluster(
+        context,
+        worker_count,
+        lambda wid: LocalWorkerHandle(wid, spec),
+    )
+
+
+def test_serving_scale_gate(benchmark, emit, emit_json):
+    with use_backend("numpy"):
+        context = CkksContext(toy_parameters(n=N, k=K, prime_bits=30))
+
+        single = benchmark.pedantic(
+            lambda: _measure(context, 1), rounds=1, iterations=1
+        )
+        pooled = _measure(context, WORKER_POOL)
+        scale = single["makespan_seconds"] / pooled["makespan_seconds"]
+        if scale < MIN_THROUGHPUT_SCALE:  # timing-noise retry
+            single = _measure(context, 1)
+            pooled = _measure(context, WORKER_POOL)
+            scale = single["makespan_seconds"] / pooled["makespan_seconds"]
+
+    rows = []
+    for label, m in (("1 worker", single), (f"{WORKER_POOL} workers", pooled)):
+        req = m["request_count"]
+        rows.append(
+            [
+                label,
+                req,
+                f"{m['makespan_seconds'] * 1e3:.1f}",
+                f"{m['makespan_seconds'] / req * 1e3:.3f}",
+                f"{m['p50_ms']:.1f}",
+                f"{m['p95_ms']:.1f}",
+                f"{m['p99_ms']:.1f}",
+            ]
+        )
+    emit(
+        "serving_scale",
+        render_table(
+            "Sharded serving front-door: pool makespan over measured "
+            "per-flush compute (numpy backend, homogeneous square traffic)",
+            [
+                "cluster",
+                "requests",
+                "makespan ms",
+                "ms/req",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+            ],
+            rows,
+            note=f"gate: makespan throughput at {WORKER_POOL} workers >= "
+            f"{MIN_THROUGHPUT_SCALE}x the single worker at n = {N}, "
+            "responses bit-identical per client; makespan = max per-worker "
+            "busy time (workers share nothing), measured flush by flush on "
+            "this host.  Latency percentiles are wall-clock on this "
+            "single-core host and include queueing.",
+        ),
+    )
+
+    emit_json(
+        op="square",
+        n=N,
+        backend="numpy",
+        workers=WORKER_POOL,
+        speedup=round(scale, 3),
+        gate=MIN_THROUGHPUT_SCALE,
+        single_makespan_seconds=round(single["makespan_seconds"], 6),
+        pooled_makespan_seconds=round(pooled["makespan_seconds"], 6),
+        single_wall_seconds=round(single["wall_seconds"], 6),
+        pooled_wall_seconds=round(pooled["wall_seconds"], 6),
+        p50_ms=round(pooled["p50_ms"], 3),
+        p95_ms=round(pooled["p95_ms"], 3),
+        p99_ms=round(pooled["p99_ms"], 3),
+        requests=pooled["request_count"],
+    )
+
+    # --- the gate ---------------------------------------------------------
+    assert scale >= MIN_THROUGHPUT_SCALE, (
+        f"4-worker makespan throughput only {scale:.2f}x the single worker "
+        f"(gate: {MIN_THROUGHPUT_SCALE}x)"
+    )
+    # sharding kept lanes full: pooled flushes are still batch-8
+    assert all(f.batch_size == 8 for f in pooled["flushes"]), (
+        "sharding fragmented the batch lanes"
+    )
+    # sharding is transparent: byte-identical responses per client
+    assert single["responses"].keys() == pooled["responses"].keys()
+    for client_id in single["responses"]:
+        assert single["responses"][client_id] == pooled["responses"][client_id], (
+            f"client {client_id} received different bytes from the pool"
+        )
+
+
+@pytest.mark.slow
+def test_process_worker_wall_time_informational(emit_json):
+    """The same trace on real worker processes (informational, no gate:
+    this host has one CPU core, so real processes cannot beat the
+    single-worker wall time -- the number documents transport overhead,
+    the makespan gate above documents scaling)."""
+    with use_backend("numpy"):
+        context = CkksContext(toy_parameters(n=N, k=K, prime_bits=30))
+        spec = WorkerSpec(
+            params=context.params, backend="numpy", max_delay_seconds=1e-3
+        )
+        result = _serve_cluster(
+            context,
+            WORKER_POOL,
+            lambda wid: ProcessWorkerHandle(wid, spec),
+        )
+    emit_json(
+        op="square",
+        n=N,
+        backend="numpy",
+        workers=WORKER_POOL,
+        transport="process",
+        wall_seconds=round(result["wall_seconds"], 6),
+        p50_ms=round(result["p50_ms"], 3),
+        p95_ms=round(result["p95_ms"], 3),
+        p99_ms=round(result["p99_ms"], 3),
+        gate=None,
+    )
+    assert result["request_count"] == TENANTS * CLIENTS_PER_TENANT * REQUESTS_PER_CLIENT

@@ -20,11 +20,19 @@ that makes such streams executable batch-wise:
   measured :class:`repro.system.scheduler.ScheduledOp` for the Figure-7
   host-pipeline simulation;
 * :mod:`repro.serving.traffic` -- deterministic synthetic multi-client
-  traffic for tests and benchmarks.
+  traffic for tests and benchmarks;
+* :mod:`repro.serving.worker` -- one sharded-serving worker (its own
+  backend, session table and batcher), in-process or as a real OS
+  process behind a pipe;
+* :mod:`repro.serving.cluster` -- the multi-worker front-door:
+  consistent-hash placement on ``key_id``, cluster-wide load shedding,
+  graceful drain and crash failover, plus the asyncio socket layer.
 
 ``benchmarks/bench_serving_throughput.py`` gates the point of the
 layer: dynamically batched serving must deliver >= 2x the per-request
-throughput of sequential scalar service, bit-identically.
+throughput of sequential scalar service, bit-identically;
+``benchmarks/bench_serving_scale.py`` gates the sharded front-door the
+same way across worker counts.
 """
 
 from repro.serving.batcher import (
@@ -34,8 +42,17 @@ from repro.serving.batcher import (
     SUPPORTED_OPS,
     homogeneity_key,
 )
+from repro.serving.clock import ManualClock
+from repro.serving.cluster import (
+    AsyncFrontDoor,
+    ClusterReport,
+    HashRing,
+    NoWorkersError,
+    ServingCluster,
+)
 from repro.serving.framing import (
     ERROR,
+    HELLO,
     REQUEST,
     RESPONSE,
     Frame,
@@ -43,31 +60,62 @@ from repro.serving.framing import (
     StreamProtocolError,
     decode_frame,
     encode_frame,
+    peek_frame_ids,
 )
-from repro.serving.queue import BackpressureError, PendingRequest, RequestQueue
+from repro.serving.queue import (
+    BackpressureError,
+    PendingRequest,
+    QueueClosedError,
+    RequestQueue,
+)
 from repro.serving.server import (
     EncryptedComputeServer,
     FlushRecord,
     ServingReport,
 )
 from repro.serving.session import ClientSession, SessionManager, UnknownClientError
-from repro.serving.traffic import SyntheticClient, SyntheticTenant, synthetic_traffic
+from repro.serving.traffic import (
+    SyntheticClient,
+    SyntheticTenant,
+    multi_tenant_traffic,
+    synthetic_traffic,
+)
+from repro.serving.worker import (
+    ClusterWorker,
+    LocalWorkerHandle,
+    ProcessWorkerHandle,
+    WorkerDeadError,
+    WorkerHandle,
+    WorkerSpec,
+    WorkerStats,
+)
 
 __all__ = [
+    "AsyncFrontDoor",
     "BackpressureError",
     "BatchGroup",
     "ClientSession",
+    "ClusterReport",
+    "ClusterWorker",
     "DynamicBatcher",
     "ERROR",
     "EncryptedComputeServer",
     "FlushRecord",
     "Frame",
     "FrameDecoder",
+    "HELLO",
+    "HashRing",
+    "LocalWorkerHandle",
+    "ManualClock",
+    "NoWorkersError",
     "OP_KEY_KIND",
     "PendingRequest",
+    "ProcessWorkerHandle",
+    "QueueClosedError",
     "REQUEST",
     "RESPONSE",
     "RequestQueue",
+    "ServingCluster",
     "ServingReport",
     "SessionManager",
     "StreamProtocolError",
@@ -75,8 +123,14 @@ __all__ = [
     "SyntheticClient",
     "SyntheticTenant",
     "UnknownClientError",
+    "WorkerDeadError",
+    "WorkerHandle",
+    "WorkerSpec",
+    "WorkerStats",
     "decode_frame",
     "encode_frame",
     "homogeneity_key",
+    "multi_tenant_traffic",
+    "peek_frame_ids",
     "synthetic_traffic",
 ]

@@ -42,8 +42,9 @@ cannot retroactively change what those requests execute under.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.serving.queue import PendingRequest
 
@@ -139,6 +140,7 @@ class DynamicBatcher:
         max_batch_size: int = 8,
         max_delay_seconds: float = 2e-3,
         hoist_rotations: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -147,6 +149,11 @@ class DynamicBatcher:
         self.max_batch_size = max_batch_size
         self.max_delay_seconds = max_delay_seconds
         self.hoist_rotations = hoist_rotations
+        #: the one time source deadline decisions consult; the server
+        #: (and the cluster scheduler above it) install their own clock
+        #: here, so a manual-clock test controls every deadline flush --
+        #: no call path falls back to wall time behind the test's back
+        self.clock = clock
         self._groups: Dict[GroupKey, BatchGroup] = {}
         #: pending digest-bearing rotations currently in *step-keyed*
         #: lanes, counted per hoist key -- admission consults this so
@@ -209,13 +216,18 @@ class DynamicBatcher:
                 self._hoistable.pop(hkey, None)
         return mates, earliest
 
-    def add(self, request: PendingRequest, now: float) -> Optional[BatchGroup]:
+    def add(
+        self, request: PendingRequest, now: Optional[float] = None
+    ) -> Optional[BatchGroup]:
         """Route a request to its lane; return the lane if it just filled.
 
         A rotate request whose payload digest matches pending rotations
         (an existing hoist lane, or step-keyed lane-mates that migrate
         out) lands in a hoist lane instead of its step-keyed lane.
+        ``now`` defaults to the batcher's injected clock.
         """
+        if now is None:
+            now = self.clock()
         key = homogeneity_key(request)
         hoistable_rotate = (
             self.hoist_rotations
@@ -249,8 +261,10 @@ class DynamicBatcher:
             return group
         return None
 
-    def due(self, now: float) -> List[BatchGroup]:
+    def due(self, now: Optional[float] = None) -> List[BatchGroup]:
         """Lanes whose oldest request has exceeded the flush deadline."""
+        if now is None:
+            now = self.clock()
         expired = [
             key
             for key, group in self._groups.items()

@@ -1,0 +1,31 @@
+"""Deterministic time sources for the serving layer.
+
+Every deadline in the serving stack -- batch-lane flushes, drain
+decisions, latency accounting -- reads an injectable ``clock``
+callable rather than wall time directly.  :class:`ManualClock` is the
+hand-cranked implementation the fault-injection and differential test
+layers (and the scale benchmark's deterministic mode) install: the test
+owns time, so "a lane straddling its deadline during a drain" is a
+reproducible state, not a race.
+"""
+
+from __future__ import annotations
+
+
+class ManualClock:
+    """A monotonic clock advanced only by its owner."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.now += seconds
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self.now})"

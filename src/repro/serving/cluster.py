@@ -1,0 +1,698 @@
+"""Multi-worker sharded serving front-door.
+
+The paper's deployment picture (Section 5) keeps one accelerator fed by
+many clients; the ROADMAP's "millions of users" axis needs the next
+level: many *workers*, each a complete serving stack of its own
+(:mod:`repro.serving.worker`), behind one router.  This module is that
+router plus its asyncio socket front end:
+
+* **Placement** -- client sessions are placed with consistent hashing
+  on their tenant ``key_id`` (:class:`HashRing`), so all of a tenant's
+  same-keyed, same-shaped traffic lands on one worker and keeps that
+  worker's homogeneity lanes full (the batcher's cross-client
+  amortization survives sharding).  The ring moves a minimal set of
+  tenants when a worker leaves or rejoins.
+* **Admission control** -- on top of each worker's bounded queue, the
+  router sheds load when the cluster-wide in-flight count hits its cap.
+  Shedding is *never* a silent drop: every shed request is answered
+  with an ERROR frame, exactly like worker-side backpressure.
+* **Drain** -- :meth:`ServingCluster.drain_worker` takes a worker out
+  of rotation gracefully: its tenants are handed back to the ring (new
+  requests route to their new workers immediately), admission stops at
+  the worker, and every request already in flight there is flushed and
+  answered before the worker goes idle.  Zero responses are lost.
+* **Failure** -- :meth:`ServingCluster.kill_worker` (called by fault
+  tests, or by the front door when it finds a worker process dead)
+  fails over: in-flight requests at the dead worker surface as ERROR
+  frames (never hangs, never wrong bits -- the request either executed
+  and its response was already routed, or it is reported lost), and the
+  dead worker's tenants are re-placed on the surviving ring.  A
+  restarted worker rejoins the ring and its tenants migrate back --
+  consistent hashing puts them exactly where they were.
+
+One request forwarded to a worker produces exactly one response frame
+(RESPONSE or ERROR) back through the router, so ``completed + shed +
+failed_over == submitted`` is an invariant the fault-injection suite
+asserts in every scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ckks.keys import GaloisKeySet, RelinKey
+from repro.ckks.serialization import serialize_kswitch_key
+from repro.serving import framing
+from repro.serving.framing import Frame, FrameDecoder, StreamProtocolError
+from repro.serving.session import UnknownClientError
+from repro.serving.worker import WorkerDeadError, WorkerHandle, WorkerStats
+
+
+class NoWorkersError(RuntimeError):
+    """The hash ring is empty; nothing can be placed."""
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes (deterministic: SHA-256).
+
+    ``vnodes`` replicas per worker smooth the placement distribution;
+    removing a worker only moves the keys that hashed to it, so a drain
+    or crash re-places one worker's tenants and nobody else's.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, worker_id)
+
+    @staticmethod
+    def _hash(token: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def __contains__(self, worker_id: str) -> bool:
+        return any(wid == worker_id for _, wid in self._points)
+
+    def __len__(self) -> int:
+        return len({wid for _, wid in self._points})
+
+    @property
+    def worker_ids(self) -> List[str]:
+        return sorted({wid for _, wid in self._points})
+
+    def add(self, worker_id: str) -> None:
+        if worker_id in self:
+            return
+        for i in range(self.vnodes):
+            point = (self._hash(f"{worker_id}#{i}"), worker_id)
+            bisect.insort(self._points, point)
+
+    def remove(self, worker_id: str) -> None:
+        self._points = [p for p in self._points if p[1] != worker_id]
+
+    def place(self, key: str) -> str:
+        """The worker owning ``key``: first ring point at or after its hash."""
+        if not self._points:
+            raise NoWorkersError("hash ring is empty; no workers to place on")
+        h = self._hash(key)
+        i = bisect.bisect_left(self._points, (h, ""))
+        if i == len(self._points):
+            i = 0  # wrap around the ring
+        return self._points[i][1]
+
+
+@dataclass
+class ClusterReport:
+    """Router-level accounting (worker-level stats live with workers)."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed_requests: int = 0
+    failed_over_requests: int = 0
+    #: admission-to-response seconds per completed request (router clock).
+    latencies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class _ClientRecord:
+    client_id: str
+    key_id: str
+    worker_id: str
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    outbox: List[bytes] = field(default_factory=list)
+
+
+@dataclass
+class _TenantKeys:
+    relin_blob: Optional[bytes]
+    galois_blobs: Optional[Dict[int, bytes]]
+
+
+class ServingCluster:
+    """The sharded serving router: placement, shedding, drain, failover.
+
+    ``worker_factory(worker_id) -> WorkerHandle`` builds workers, so one
+    router drives deterministic in-process workers in tests and real
+    worker processes in deployment -- the routing logic cannot tell the
+    difference.  ``clock`` is injectable and threads through to local
+    workers' batchers, so manual-clock tests control every deadline in
+    the cluster.
+    """
+
+    def __init__(
+        self,
+        worker_factory: Callable[[str], WorkerHandle],
+        worker_count: int = 4,
+        max_inflight: int = 4096,
+        vnodes: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+        worker_ids: Optional[List[str]] = None,
+    ):
+        if worker_count < 1 and not worker_ids:
+            raise ValueError("need at least one worker")
+        self.clock = clock
+        self.max_inflight = max_inflight
+        self._factory = worker_factory
+        self.ring = HashRing(vnodes)
+        ids = worker_ids if worker_ids else [f"w{i}" for i in range(worker_count)]
+        self.workers: Dict[str, WorkerHandle] = {}
+        for wid in ids:
+            self.workers[wid] = worker_factory(wid)
+            self.ring.add(wid)
+        self._tenants: Dict[str, _TenantKeys] = {}
+        #: worker_id -> key_ids whose blobs that worker already holds
+        #: (reset on restart: a fresh process has an empty key cache).
+        self._uploaded: Dict[str, set] = {wid: set() for wid in ids}
+        self._clients: Dict[str, _ClientRecord] = {}
+        #: (client_id, request_id) -> (worker_id, admitted_at)
+        self._inflight: Dict[Tuple[str, int], Tuple[str, float]] = {}
+        self.report = ClusterReport()
+
+    # ------------------------------------------------------------------
+    # tenants and clients
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self,
+        key_id: str,
+        relin_key: Optional[RelinKey] = None,
+        galois_keys: Optional[GaloisKeySet] = None,
+    ) -> None:
+        """Install one tenant's key material (serialized once, here).
+
+        The router -- not the client -- binds keys to a ``key_id``; a
+        client claiming a tenant's id gets exactly that tenant's keys,
+        so it can never smuggle different key material into the
+        tenant's batch lanes.
+        """
+        relin_blob = serialize_kswitch_key(relin_key) if relin_key else None
+        galois_blobs = (
+            {
+                elt: serialize_kswitch_key(galois_keys.key_for_element(elt))
+                for elt in galois_keys.elements()
+            }
+            if galois_keys
+            else None
+        )
+        self._tenants[key_id] = _TenantKeys(relin_blob, galois_blobs)
+
+    def register_client(self, client_id: str, key_id: str) -> str:
+        """Open a session; returns the worker it was placed on.
+
+        Re-registering an existing client with the same ``key_id`` is
+        idempotent (a reconnecting socket client re-sends HELLO); with a
+        different ``key_id`` it is an error.
+        """
+        existing = self._clients.get(client_id)
+        if existing is not None:
+            if existing.key_id != key_id:
+                raise ValueError(
+                    f"client {client_id!r} is registered under key_id "
+                    f"{existing.key_id!r}, not {key_id!r}"
+                )
+            return existing.worker_id
+        if key_id not in self._tenants:
+            raise KeyError(
+                f"unknown key_id {key_id!r}: register the tenant's keys first"
+            )
+        worker_id = self.ring.place(key_id)
+        record = _ClientRecord(client_id, key_id, worker_id)
+        self._register_at_worker(worker_id, record)
+        self._clients[client_id] = record
+        return worker_id
+
+    def _register_at_worker(self, worker_id: str, record: _ClientRecord) -> None:
+        tenant = self._tenants[record.key_id]
+        uploaded = self._uploaded[worker_id]
+        if record.key_id in uploaded:
+            # the worker caches key objects per key_id: no blob re-send
+            self.workers[worker_id].register_session(
+                record.client_id, record.key_id, None, None
+            )
+        else:
+            self.workers[worker_id].register_session(
+                record.client_id,
+                record.key_id,
+                tenant.relin_blob,
+                tenant.galois_blobs,
+            )
+            uploaded.add(record.key_id)
+
+    def worker_for(self, key_id: str) -> str:
+        """Current ring placement of a tenant."""
+        return self.ring.place(key_id)
+
+    def client_worker(self, client_id: str) -> str:
+        """The worker a client's session currently lives on."""
+        return self._client(client_id).worker_id
+
+    def _client(self, client_id: str) -> _ClientRecord:
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise UnknownClientError(
+                f"no session for client {client_id!r}; register first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def receive(self, client_id: str, data: bytes) -> None:
+        """Feed raw stream bytes from one client's connection.
+
+        Mirrors ``EncryptedComputeServer.receive``: a corrupt stream
+        raises (transport must reset), but every frame decoded ahead of
+        the corruption is still admitted.
+        """
+        record = self._client(client_id)
+        try:
+            frames = record.decoder.feed(data)
+        except StreamProtocolError as exc:
+            for frame in exc.frames:
+                self.receive_frame(client_id, frame)
+            raise
+        for frame in frames:
+            self.receive_frame(client_id, frame)
+
+    def _respond_error(self, record: _ClientRecord, request_id: int, message: str) -> None:
+        record.outbox.append(
+            framing.encode_frame(
+                framing.ERROR,
+                request_id,
+                record.client_id,
+                payload=message.encode("utf-8"),
+            )
+        )
+
+    def receive_frame(self, client_id: str, frame: Frame) -> None:
+        """Route one decoded frame to its session's worker."""
+        record = self._client(client_id)
+        if frame.kind != framing.REQUEST:
+            self._respond_error(
+                record, frame.request_id, "front-door accepts only REQUEST frames"
+            )
+            return
+        if frame.client_id and frame.client_id != client_id:
+            self._respond_error(
+                record,
+                frame.request_id,
+                f"frame client_id {frame.client_id!r} does not match "
+                f"this connection's session {client_id!r}",
+            )
+            return
+        self.report.submitted += 1
+        key = (client_id, frame.request_id)
+        if key in self._inflight:
+            self._respond_error(
+                record,
+                frame.request_id,
+                f"request_id {frame.request_id} is already in flight",
+            )
+            return
+        if len(self._inflight) >= self.max_inflight:
+            # cluster-wide load shedding: an explicit ERROR, never a
+            # silent drop -- the client learns to back off
+            self.report.shed_requests += 1
+            self._respond_error(
+                record,
+                frame.request_id,
+                f"cluster at capacity ({self.max_inflight} in flight); "
+                "retry later",
+            )
+            return
+        worker = self.workers[record.worker_id]
+        if not worker.alive:
+            # the process died since we last routed here: fail over now
+            self.kill_worker(record.worker_id)
+            worker = self.workers.get(record.worker_id)
+            if worker is None or not worker.alive:
+                self._respond_error(
+                    record, frame.request_id,
+                    f"worker {record.worker_id!r} is down; session re-placed, "
+                    "retry",
+                )
+                return
+        worker.feed(
+            client_id,
+            framing.encode_frame(
+                frame.kind,
+                frame.request_id,
+                frame.client_id,
+                op=frame.op,
+                op_arg=frame.op_arg,
+                payload=frame.payload,
+            ),
+        )
+        self._inflight[key] = (record.worker_id, self.clock())
+
+    # ------------------------------------------------------------------
+    # the scheduler turn
+    # ------------------------------------------------------------------
+    def pump(self, now: Optional[float] = None) -> int:
+        """One cluster turn: give every worker a pump, route responses."""
+        for handle in self.workers.values():
+            if handle.alive:
+                handle.pump(now)
+        return self._collect(now)
+
+    def _collect(self, now: Optional[float] = None) -> int:
+        if now is None:
+            now = self.clock()
+        completed = 0
+        for handle in self.workers.values():
+            if not handle.alive:
+                continue
+            for client_id, blobs in handle.poll_responses().items():
+                record = self._clients.get(client_id)
+                for blob in blobs:
+                    _, request_id = framing.peek_frame_ids(blob)
+                    entry = self._inflight.pop((client_id, request_id), None)
+                    if entry is not None:
+                        self.report.latencies.append(now - entry[1])
+                    if record is not None:
+                        record.outbox.append(blob)
+                    completed += 1
+        self.report.completed += completed
+        return completed
+
+    def drain(self, now: Optional[float] = None) -> int:
+        """Flush every worker's pending work (end-of-stream / shutdown)."""
+        for handle in self.workers.values():
+            if handle.alive:
+                handle.drain(now)
+        return self._collect(now)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def client_inflight(self, client_id: str) -> int:
+        """Requests of one client currently in flight (front-door uses
+        this to settle a connection before closing it)."""
+        return sum(1 for (cid, _) in self._inflight if cid == client_id)
+
+    def take_outbox(self, client_id: str) -> List[bytes]:
+        record = self._client(client_id)
+        out, record.outbox = record.outbox, []
+        return out
+
+    # ------------------------------------------------------------------
+    # worker lifecycle: drain, failure, rejoin
+    # ------------------------------------------------------------------
+    def _migrate_sessions(self) -> int:
+        """Re-place every client whose tenant's ring position moved."""
+        if len(self.ring) == 0:
+            # whole-cluster drain (shutdown): nowhere to migrate to;
+            # sessions keep their mapping and the drained workers answer
+            # any straggler with an explicit "draining" ERROR
+            return 0
+        moved = 0
+        for record in self._clients.values():
+            target = self.ring.place(record.key_id)
+            if target != record.worker_id:
+                record.worker_id = target
+                self._register_at_worker(target, record)
+                moved += 1
+        return moved
+
+    def drain_worker(self, worker_id: str, now: Optional[float] = None) -> int:
+        """Gracefully take a worker out of rotation.
+
+        Protocol: (1) hand its tenants back to the ring -- new requests
+        route to their new workers immediately; (2) stop admission at
+        the worker (anything that somehow still lands there is answered
+        with an ERROR, not dropped); (3) flush every lane and route the
+        responses.  Returns the number of requests completed by the
+        final flush; afterwards the worker holds nothing in flight.
+        """
+        handle = self.workers[worker_id]
+        self.ring.remove(worker_id)
+        self._migrate_sessions()
+        handle.begin_drain()
+        handle.drain(now)
+        completed = self._collect(now)
+        return completed
+
+    def kill_worker(self, worker_id: str, now: Optional[float] = None) -> int:
+        """A worker died: fail its in-flight requests over to ERRORs.
+
+        Everything the worker had not answered is reported lost to the
+        owning clients -- an explicit ERROR frame per request, never a
+        hang and never a made-up response -- and its tenants re-place
+        onto the surviving ring.  Returns the number of failed-over
+        requests.
+        """
+        if now is None:
+            now = self.clock()
+        handle = self.workers[worker_id]
+        # collect anything already produced and transferred before death
+        if handle.alive:
+            handle.kill()
+        self.ring.remove(worker_id)
+        failed = 0
+        for (client_id, request_id), (wid, _) in list(self._inflight.items()):
+            if wid != worker_id:
+                continue
+            del self._inflight[(client_id, request_id)]
+            record = self._clients.get(client_id)
+            if record is not None:
+                self._respond_error(
+                    record,
+                    request_id,
+                    f"worker {worker_id!r} died with the request in flight; "
+                    "retry",
+                )
+            failed += 1
+        self.report.failed_over_requests += failed
+        # a dead process holds no key cache anymore
+        self._uploaded[worker_id] = set()
+        if len(self.ring) == 0:
+            raise NoWorkersError(
+                f"last worker {worker_id!r} died; no capacity left"
+            )
+        self._migrate_sessions()
+        return failed
+
+    def restart_worker(self, worker_id: str) -> None:
+        """Build a fresh worker under an existing id and rejoin the ring.
+
+        Consistent hashing re-places exactly the tenants that lived on
+        it before the crash -- they migrate back, sessions re-register,
+        and key material re-uploads (the fresh worker's cache is empty).
+        """
+        old = self.workers.get(worker_id)
+        if old is not None and old.alive:
+            old.stop()
+        self.workers[worker_id] = self._factory(worker_id)
+        self._uploaded[worker_id] = set()
+        self.ring.add(worker_id)
+        self._migrate_sessions()
+
+    def rejoin_worker(self, worker_id: str) -> None:
+        """Return a drained (still-alive) worker to the ring."""
+        handle = self.workers[worker_id]
+        if not handle.alive:
+            raise WorkerDeadError(
+                f"worker {worker_id!r} is dead; use restart_worker, "
+                "not rejoin_worker"
+            )
+        handle.resume()
+        self.ring.add(worker_id)
+        self._migrate_sessions()
+
+    def stop(self) -> None:
+        """Shut every worker down (graceful; drain first if you care)."""
+        for handle in self.workers.values():
+            if handle.alive:
+                handle.stop()
+
+    def worker_stats(self) -> Dict[str, WorkerStats]:
+        """Execution stats per live worker (for benchmarks/reports)."""
+        return {
+            wid: handle.stats()
+            for wid, handle in self.workers.items()
+            if handle.alive
+        }
+
+
+# ----------------------------------------------------------------------
+# asyncio socket front end
+# ----------------------------------------------------------------------
+class AsyncFrontDoor:
+    """Asyncio TCP front-door speaking the length-prefixed frame protocol.
+
+    Connection protocol: the first frame must be a HELLO (``client_id``
+    = the session to open, ``op`` = the tenant's ``key_id``, whose keys
+    must already be registered with the cluster); REQUEST frames follow
+    on the same connection and responses stream back as they complete.
+    A malformed stream is answered for every frame decoded ahead of the
+    corruption, then the connection is closed -- the framing cannot be
+    resynchronized.
+
+    A background pump task gives the cluster scheduler turns, so worker
+    deadlines flush even while every connection is idle.
+    """
+
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pump_interval: float = 1e-3,
+    ):
+        self.cluster = cluster
+        self.host = host
+        self.port = port
+        self.pump_interval = pump_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._pump_task = asyncio.ensure_future(self._pump_loop())
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AsyncFrontDoor":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _pump_loop(self) -> None:
+        while True:
+            self.cluster.pump()
+            await self._flush_outboxes()
+            await asyncio.sleep(self.pump_interval)
+
+    async def _flush_outboxes(self) -> None:
+        for client_id, writer in list(self._writers.items()):
+            frames = self.cluster.take_outbox(client_id)
+            if not frames:
+                continue
+            try:
+                writer.write(b"".join(frames))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                self._writers.pop(client_id, None)
+
+    async def _settle_client(
+        self,
+        client_id: str,
+        writer: asyncio.StreamWriter,
+        timeout: float = 10.0,
+    ) -> None:
+        """Pump until a closing connection's in-flight requests answer."""
+        deadline = time.monotonic() + timeout
+        while (
+            self.cluster.client_inflight(client_id)
+            and time.monotonic() < deadline
+        ):
+            self.cluster.pump()
+            await self._flush_outboxes()
+            await asyncio.sleep(self.pump_interval)
+        await self._flush_outboxes()
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    def _dispatch(
+        self,
+        frame: Frame,
+        client_id: Optional[str],
+        writer: asyncio.StreamWriter,
+    ) -> Optional[str]:
+        """Handle one decoded frame; returns the connection's client id."""
+        if frame.kind == framing.HELLO:
+            try:
+                self.cluster.register_client(frame.client_id, key_id=frame.op)
+            except (ValueError, KeyError) as exc:
+                writer.write(
+                    framing.encode_frame(
+                        framing.ERROR,
+                        frame.request_id,
+                        frame.client_id,
+                        payload=str(exc).encode("utf-8"),
+                    )
+                )
+                return client_id
+            self._writers[frame.client_id] = writer
+            return frame.client_id
+        if client_id is None:
+            writer.write(
+                framing.encode_frame(
+                    framing.ERROR,
+                    frame.request_id,
+                    frame.client_id,
+                    payload=b"connection must open with a HELLO frame",
+                )
+            )
+            return None
+        self.cluster.receive_frame(client_id, frame)
+        return client_id
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        client_id: Optional[str] = None
+        try:
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except StreamProtocolError as exc:
+                    # serve what decoded cleanly -- and wait for their
+                    # responses -- then reset the stream: one corrupt
+                    # frame must not lose the good requests before it
+                    for frame in exc.frames:
+                        client_id = self._dispatch(frame, client_id, writer)
+                    if client_id is not None:
+                        await self._settle_client(client_id, writer)
+                    break
+                for frame in frames:
+                    client_id = self._dispatch(frame, client_id, writer)
+                self.cluster.pump()
+                await self._flush_outboxes()
+                await writer.drain()
+        finally:
+            if client_id is not None:
+                self._writers.pop(client_id, None)
+            writer.close()
+            try:
+                # shielded: server shutdown cancels this handler task,
+                # and an un-awaited wait_closed would log to the loop
+                await asyncio.shield(writer.wait_closed())
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
+                pass

@@ -35,8 +35,14 @@ FRAME_VERSION = 1
 REQUEST = 1
 RESPONSE = 2
 ERROR = 3
+#: Connection preamble for the socket front-door: ``client_id`` names
+#: the session to open and the ``op`` field carries the tenant's
+#: ``key_id`` (whose key material must already be registered with the
+#: cluster).  In-process callers register sessions programmatically and
+#: never send one.
+HELLO = 4
 
-_KINDS = (REQUEST, RESPONSE, ERROR)
+_KINDS = (REQUEST, RESPONSE, ERROR, HELLO)
 
 _PREFIX = struct.Struct("<I")
 _FIXED = struct.Struct("<4sBBQiBB")  # magic, ver, kind, req_id, op_arg, lens
@@ -112,6 +118,24 @@ def _decode_body(body: memoryview) -> Frame:
     op = bytes(body[pos : pos + op_len]).decode("utf-8")
     pos += op_len
     return Frame(kind, request_id, client_id, op, op_arg, bytes(body[pos:]))
+
+
+#: offset of the (kind, request_id) pair inside an encoded frame:
+#: length prefix, magic, version.
+_IDS_OFFSET = _PREFIX.size + 4 + 1
+_IDS = struct.Struct("<BQ")
+
+
+def peek_frame_ids(data: bytes) -> "tuple[int, int]":
+    """Read ``(kind, request_id)`` off an encoded frame without decoding.
+
+    The router routes thousands of already-validated response frames; a
+    two-field peek keeps that bookkeeping O(1) per frame instead of a
+    full decode (which would copy the ciphertext payload).
+    """
+    if len(data) < _IDS_OFFSET + _IDS.size:
+        raise ValueError("truncated frame: too short for kind/request_id")
+    return _IDS.unpack_from(data, _IDS_OFFSET)
 
 
 def decode_frame(data: bytes) -> Frame:

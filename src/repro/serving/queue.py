@@ -23,6 +23,10 @@ class BackpressureError(RuntimeError):
     """The pending-request cap was hit; the client must retry later."""
 
 
+class QueueClosedError(BackpressureError):
+    """The queue stopped admitting (worker drain); route elsewhere."""
+
+
 @dataclass
 class PendingRequest:
     """One admitted request waiting to be batched.
@@ -56,12 +60,23 @@ class RequestQueue:
     """
 
     max_pending: int = 1024
+    #: a closed queue admits nothing -- the drain protocol's "stop
+    #: admitting" step; requests already queued still flow to the batcher
+    closed: bool = False
     _items: List[PendingRequest] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self._items)
 
+    def close(self) -> None:
+        self.closed = True
+
+    def reopen(self) -> None:
+        self.closed = False
+
     def submit(self, request: PendingRequest) -> None:
+        if self.closed:
+            raise QueueClosedError("worker draining; not admitting requests")
         if len(self._items) >= self.max_pending:
             raise BackpressureError(
                 f"request queue full ({self.max_pending} pending); retry later"

@@ -135,7 +135,9 @@ class EncryptedComputeServer:
         self.clock = clock
         self.sessions = SessionManager(context)
         self.queue = RequestQueue(max_pending)
-        self.batcher = DynamicBatcher(max_batch_size, max_delay_seconds)
+        # the batcher shares the server's clock, so an injected manual
+        # clock governs deadline flushes end to end
+        self.batcher = DynamicBatcher(max_batch_size, max_delay_seconds, clock=clock)
         self.evaluator = Evaluator(context)
         self.batch_evaluator = BatchEvaluator(context)
         self.report = ServingReport()
@@ -234,6 +236,12 @@ class EncryptedComputeServer:
                     session, frame.request_id, "session has no Galois keys"
                 )
                 return
+        if self.queue.closed:
+            self._reject(
+                session, frame.request_id,
+                "worker draining; not admitting requests",
+            )
+            return
         if len(self.queue) >= self.queue.max_pending:
             # admission check before payload decode: rejection must be
             # O(1), not cost a full ciphertext deserialization
@@ -293,12 +301,46 @@ class EncryptedComputeServer:
             completed += self._execute(group)
         return completed
 
-    def drain(self) -> int:
-        """Serve everything pending, flushing under-filled lanes too."""
-        completed = self.pump()  # empties the queue into the batcher
+    def drain(self, now: Optional[float] = None) -> int:
+        """Serve everything pending, flushing under-filled lanes too.
+
+        ``now`` threads through to :meth:`pump` -- previously drain
+        always read the server clock here, the one spot a caller driving
+        ``pump(now=...)`` by hand could not control, so a manual-clock
+        test of deadline-straddling admissions during drain silently
+        fell back to wall time.
+        """
+        completed = self.pump(now)  # empties the queue into the batcher
         for group in self.batcher.flush_all():
             completed += self._execute(group)
         return completed
+
+    # ------------------------------------------------------------------
+    # admission lifecycle (the cluster drain protocol's worker half)
+    # ------------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        return not self.queue.closed
+
+    def stop_admitting(self) -> None:
+        """Reject new requests with ERROR frames; pending work still runs."""
+        self.queue.close()
+
+    def resume_admitting(self) -> None:
+        self.queue.reopen()
+
+    @property
+    def pending_count(self) -> int:
+        """Requests admitted but not yet flushed (queue + open lanes)."""
+        return len(self.queue) + self.batcher.pending_count
+
+    def collect_outboxes(self) -> Dict[str, List[bytes]]:
+        """Drain every session outbox: ``client_id -> encoded frames``."""
+        out: Dict[str, List[bytes]] = {}
+        for session in self.sessions.all_sessions():
+            if session.outbox:
+                out[session.client_id] = session.take_outbox()
+        return out
 
     # ------------------------------------------------------------------
     # execution

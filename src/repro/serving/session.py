@@ -26,9 +26,32 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.ckks.context import CkksContext
-from repro.ckks.keys import GaloisKeySet, RelinKey
+from repro.ckks.keys import GaloisKey, GaloisKeySet, RelinKey
 from repro.ckks.serialization import deserialize_kswitch_key
 from repro.serving.framing import FrameDecoder
+
+
+def relin_key_from_wire(blob: bytes, context: CkksContext) -> RelinKey:
+    """Rebuild a relinearization key from its wire bytes (validated)."""
+    return RelinKey(deserialize_kswitch_key(blob, context).digits)
+
+
+def galois_keys_from_wire(
+    blobs: Dict[int, bytes], context: CkksContext
+) -> GaloisKeySet:
+    """Rebuild a Galois key set from per-element wire blobs (validated).
+
+    This is the upload format the cluster ships to its workers: each
+    Galois element's key-switching key serialized independently, so a
+    worker process can reconstitute a tenant's rotation keys without
+    ever holding the live objects of another process.
+    """
+    return GaloisKeySet(
+        {
+            elt: GaloisKey(elt, deserialize_kswitch_key(blob, context).digits)
+            for elt, blob in blobs.items()
+        }
+    )
 
 
 class UnknownClientError(KeyError):
@@ -115,9 +138,18 @@ class SessionManager:
         the upload boundary, instead of corrupting every later request.
         """
         session = self.get(client_id)
-        session.relin_key = RelinKey(
-            deserialize_kswitch_key(blob, self.context).digits
-        )
+        session.relin_key = relin_key_from_wire(blob, self.context)
+
+    def register_galois_from_wire(
+        self, client_id: str, blobs: Dict[int, bytes]
+    ) -> None:
+        """Install Galois keys uploaded in wire format (validated at the
+        upload boundary like :meth:`register_relin_from_wire`)."""
+        session = self.get(client_id)
+        session.galois_keys = galois_keys_from_wire(blobs, self.context)
+
+    def all_sessions(self) -> List[ClientSession]:
+        return list(self._sessions.values())
 
     def get(self, client_id: str) -> ClientSession:
         try:

@@ -55,6 +55,14 @@ class SyntheticTenant:
         values = self.encoder.decode(self.decryptor.decrypt(ct))
         return frame.request_id, list(values)
 
+    def register_with(self, cluster) -> None:
+        """Register this tenant's key material with a serving cluster."""
+        cluster.register_tenant(
+            self.key_id,
+            relin_key=self.relin_key,
+            galois_keys=self.galois_keys,
+        )
+
 
 class SyntheticClient:
     """One client identity encrypting requests under its tenant's keys."""
@@ -73,6 +81,15 @@ class SyntheticClient:
             galois_keys=self.tenant.galois_keys,
             key_id=self.tenant.key_id,
         )
+
+    def connect_cluster(self, cluster) -> str:
+        """Open this client's session at the cluster front-door.
+
+        The tenant's keys must already be registered (see
+        :meth:`SyntheticTenant.register_with`); returns the worker id
+        the session was placed on.
+        """
+        return cluster.register_client(self.client_id, self.tenant.key_id)
 
     def request_bytes(
         self, op: str, values: Sequence[float], op_arg: int = 0
@@ -161,3 +178,48 @@ def synthetic_traffic(
                 yield client.client_id, client.request_bytes(o, values, a)
 
     return clients, stream()
+
+
+def multi_tenant_traffic(
+    context: CkksContext,
+    tenant_count: int,
+    clients_per_tenant: int,
+    requests_per_client: int,
+    seed: int = 2020,
+    ops: Optional[Sequence[Tuple[str, int]]] = None,
+) -> Tuple[List[SyntheticTenant], List[SyntheticClient], List[Tuple[str, bytes]]]:
+    """Deterministic traffic across several tenants (the cluster workload).
+
+    Builds ``tenant_count`` independent key sets, ``clients_per_tenant``
+    clients under each, and a fully materialized request trace that
+    interleaves *across tenants* request by request -- the arrival
+    pattern a sharded front-door sees, where consecutive frames belong
+    to sessions placed on different workers.  Everything is seeded, so
+    the same call produces byte-identical frames: the differential
+    tests replay one trace against different cluster shapes and demand
+    byte-identical responses.
+
+    Returns ``(tenants, clients, trace)`` with ``trace`` a list of
+    ``(client_id, frame_bytes)`` (materialized, not a generator, so one
+    trace can be replayed against several serving configurations).
+    """
+    tenants = [
+        SyntheticTenant(context, seed=seed + 101 * t, key_id=f"tenant-{t}")
+        for t in range(tenant_count)
+    ]
+    clients = [
+        SyntheticClient(tenant, f"{tenant.key_id}-client-{c}", seed=seed + 13 * (t * clients_per_tenant + c))
+        for t, tenant in enumerate(tenants)
+        for c in range(clients_per_tenant)
+    ]
+    op_cycle = list(ops) if ops else [("square", 0), ("rotate", 1), ("double", 0)]
+    slots = context.params.slot_count
+    trace: List[Tuple[str, bytes]] = []
+    counter = 0
+    for r in range(requests_per_client):
+        for i, client in enumerate(clients):
+            o, a = op_cycle[counter % len(op_cycle)]
+            values = [(i + 1) / (r + j + 2) for j in range(min(slots, 4))]
+            counter += 1
+            trace.append((client.client_id, client.request_bytes(o, values, a)))
+    return tenants, clients, trace

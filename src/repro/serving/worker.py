@@ -1,0 +1,506 @@
+"""One sharded-serving worker: its own backend, sessions and batcher.
+
+The cluster front-door (:mod:`repro.serving.cluster`) shards client
+sessions across a pool of workers; each worker is a complete serving
+stack of its own -- a :class:`repro.serving.server.EncryptedComputeServer`
+holding its private :class:`~repro.ckks.context.CkksContext` (and hence
+its own backend instance and NTT tables), session table, bounded queue
+and :class:`~repro.serving.batcher.DynamicBatcher`.  Nothing is shared
+between workers, so a worker can honestly run in -- and die with -- a
+separate OS process.
+
+Two transports implement the same :class:`WorkerHandle` contract:
+
+* :class:`LocalWorkerHandle` runs the worker core in-process and fully
+  deterministically (injectable clock, synchronous pump), which is what
+  the fault-injection and differential test layers drive -- ``kill()``
+  simulates a crash by discarding the core, exactly the state loss a
+  dead process implies;
+* :class:`ProcessWorkerHandle` spawns a real worker process connected
+  over a :mod:`multiprocessing` pipe -- the deployment shape, used by
+  the scale benchmark and the process smoke tests.
+
+Key material travels to workers in *wire format* (the cluster serializes
+each tenant's keys once; the worker deserializes once per ``key_id`` and
+caches the objects).  The cache is keyed by ``key_id`` because in the
+cluster model the *router's tenant registry* -- not the client -- binds
+key material to a ``key_id``; all clients of one tenant therefore share
+the same deserialized key objects inside a worker, which is what lets
+their keyed requests share batch lanes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ckks.context import CkksContext, CkksParameters
+from repro.serving.server import EncryptedComputeServer
+from repro.serving.session import galois_keys_from_wire, relin_key_from_wire
+
+
+class WorkerDeadError(RuntimeError):
+    """An operation was attempted on a dead worker."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything needed to build a worker's serving stack anywhere.
+
+    Plain picklable data, so a spec crosses a process boundary: a
+    spawned worker process reconstructs its whole stack from it.
+    ``backend=None`` follows the process-wide active backend.
+    """
+
+    params: CkksParameters
+    backend: Optional[str] = None
+    max_batch_size: int = 8
+    max_delay_seconds: float = 2e-3
+    max_pending: int = 1024
+    max_frame_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlushStat:
+    """Picklable summary of one executed flush (for cross-process stats)."""
+
+    op: str
+    batch_size: int
+    seconds: float
+    batched: bool
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate execution stats a worker reports to the router."""
+
+    flushes: List[FlushStat] = field(default_factory=list)
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+class ClusterWorker:
+    """The transport-agnostic worker core (runs wherever its handle says)."""
+
+    def __init__(self, spec: WorkerSpec, clock: Callable[[], float] = time.monotonic):
+        self.spec = spec
+        self.context = CkksContext(spec.params, backend=spec.backend)
+        self.server = EncryptedComputeServer(
+            self.context,
+            max_batch_size=spec.max_batch_size,
+            max_delay_seconds=spec.max_delay_seconds,
+            max_pending=spec.max_pending,
+            max_frame_bytes=spec.max_frame_bytes,
+            clock=clock,
+        )
+        #: key_id -> (relin key, Galois key set), deserialized once.
+        self._tenant_keys: Dict[str, Tuple[object, object]] = {}
+
+    # ------------------------------------------------------------------
+    # sessions and key material
+    # ------------------------------------------------------------------
+    def register_session(
+        self,
+        client_id: str,
+        key_id: str,
+        relin_blob: Optional[bytes] = None,
+        galois_blobs: Optional[Dict[int, bytes]] = None,
+    ) -> None:
+        """Open (or refresh, after a migration round-trip) one session.
+
+        Key blobs are only needed the first time a ``key_id`` reaches
+        this worker; later sessions of the same tenant reuse the cached
+        objects -- and *must*, so their keyed requests share lanes.
+        """
+        keys = self._tenant_keys.get(key_id)
+        if keys is None:
+            relin = (
+                relin_key_from_wire(relin_blob, self.context)
+                if relin_blob is not None
+                else None
+            )
+            galois = (
+                galois_keys_from_wire(galois_blobs, self.context)
+                if galois_blobs is not None
+                else None
+            )
+            keys = self._tenant_keys[key_id] = (relin, galois)
+        relin, galois = keys
+        if client_id in self.server.sessions:
+            # a session migrated away and back: refresh, don't re-open
+            session = self.server.sessions.get(client_id)
+            session.relin_key = relin
+            session.galois_keys = galois
+        else:
+            self.server.register_client(
+                client_id, relin_key=relin, galois_keys=galois, key_id=key_id
+            )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def feed(self, client_id: str, data: bytes) -> None:
+        self.server.receive(client_id, data)
+
+    def pump(self, now: Optional[float] = None) -> int:
+        return self.server.pump(now)
+
+    def drain(self, now: Optional[float] = None) -> int:
+        return self.server.drain(now)
+
+    def stop_admitting(self) -> None:
+        self.server.stop_admitting()
+
+    def resume_admitting(self) -> None:
+        self.server.resume_admitting()
+
+    @property
+    def pending_count(self) -> int:
+        return self.server.pending_count
+
+    def collect(self) -> Dict[str, List[bytes]]:
+        return self.server.collect_outboxes()
+
+    def stats(self) -> WorkerStats:
+        report = self.server.report
+        return WorkerStats(
+            flushes=[
+                FlushStat(f.op, f.batch_size, f.seconds, f.batched)
+                for f in report.flushes
+            ],
+            completed=report.request_count,
+            rejected=report.rejected_requests,
+            errors=report.error_responses,
+            latencies=list(report.latencies),
+        )
+
+
+class WorkerHandle:
+    """The router-side contract every worker transport implements.
+
+    One request forwarded through :meth:`feed` produces exactly one
+    response frame (RESPONSE or ERROR) through :meth:`poll_responses` --
+    unless the worker dies first, in which case the *router* owns
+    surfacing the loss (see ``ServingCluster.kill_worker``).
+    """
+
+    worker_id: str
+
+    @property
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
+        raise NotImplementedError
+
+    def feed(self, client_id: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def pump(self, now: Optional[float] = None) -> None:
+        """Give an in-process worker a scheduler turn (no-op for a
+        self-pumping process worker)."""
+
+    def poll_responses(self) -> Dict[str, List[bytes]]:
+        raise NotImplementedError
+
+    def begin_drain(self) -> None:
+        raise NotImplementedError
+
+    def drain(self, now: Optional[float] = None) -> int:
+        raise NotImplementedError
+
+    def resume(self) -> None:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> WorkerStats:
+        raise NotImplementedError
+
+
+class LocalWorkerHandle(WorkerHandle):
+    """Deterministic in-process worker (the test layer's transport).
+
+    ``kill()`` models a crash faithfully: the core -- queue contents,
+    open lanes, un-collected outboxes, session table -- is discarded,
+    so everything a dead process would lose is lost here too.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        spec: WorkerSpec,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.worker_id = worker_id
+        self.spec = spec
+        self._clock = clock
+        self._core: Optional[ClusterWorker] = ClusterWorker(spec, clock=clock)
+
+    @property
+    def alive(self) -> bool:
+        return self._core is not None
+
+    @property
+    def core(self) -> ClusterWorker:
+        if self._core is None:
+            raise WorkerDeadError(f"worker {self.worker_id!r} is dead")
+        return self._core
+
+    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
+        self.core.register_session(client_id, key_id, relin_blob, galois_blobs)
+
+    def feed(self, client_id: str, data: bytes) -> None:
+        self.core.feed(client_id, data)
+
+    def pump(self, now: Optional[float] = None) -> None:
+        self.core.pump(now)
+
+    def poll_responses(self) -> Dict[str, List[bytes]]:
+        if self._core is None:
+            return {}
+        return self._core.collect()
+
+    def begin_drain(self) -> None:
+        self.core.stop_admitting()
+
+    def drain(self, now: Optional[float] = None) -> int:
+        return self.core.drain(now)
+
+    def resume(self) -> None:
+        self.core.resume_admitting()
+
+    def kill(self) -> None:
+        self._core = None
+
+    def stop(self) -> None:
+        self._core = None
+
+    def stats(self) -> WorkerStats:
+        return self.core.stats()
+
+
+# ----------------------------------------------------------------------
+# real worker processes
+# ----------------------------------------------------------------------
+
+#: Idle poll timeout of the worker process loop: long enough not to spin,
+#: short enough that a deadline flush is never late by much.
+_IDLE_POLL_SECONDS = 0.02
+
+
+def _worker_process_main(conn, spec: WorkerSpec) -> None:
+    """Entry point of a worker process: serve commands until told to stop.
+
+    The loop interleaves command handling with serve-loop pumps so
+    deadline flushes happen even when no command arrives.  The protocol
+    is strictly request-reply: the worker only ever writes to the pipe
+    while the router is blocked reading the reply to a command it just
+    sent.  (An earlier design pushed completed responses unsolicited;
+    with both sides free to initiate multi-buffer sends, router and
+    worker could each block mid-``send`` with nobody reading -- a
+    textbook duplex-pipe deadlock under real traffic volumes.)
+    Completed responses therefore accumulate in the core's outboxes
+    until the router asks via ``poll``.
+    """
+    if spec.backend is not None:
+        # pin the process-global backend too: serialization helpers
+        # consult it, and this process serves exactly one context
+        from repro.ckks.backend import set_backend
+
+        set_backend(spec.backend)
+    core = ClusterWorker(spec)
+    try:
+        while True:
+            timeout = 0.0 if core.pending_count else _IDLE_POLL_SECONDS
+            if conn.poll(timeout):
+                try:
+                    msg = conn.recv()
+                except EOFError:  # router went away: nothing left to serve
+                    return
+                cmd = msg[0]
+                if cmd == "register":
+                    core.register_session(*msg[1:])
+                elif cmd == "frames":
+                    core.feed(msg[1], msg[2])
+                elif cmd == "poll":
+                    conn.send(("responses", core.collect()))
+                elif cmd == "stop_admitting":
+                    core.stop_admitting()
+                elif cmd == "resume":
+                    core.resume_admitting()
+                elif cmd == "drain":
+                    completed = core.drain()
+                    conn.send(("responses", core.collect()))
+                    conn.send(("drained", completed))
+                    continue
+                elif cmd == "stats":
+                    conn.send(("stats", core.stats()))
+                elif cmd == "stop":
+                    return
+            core.pump()
+    except (BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
+        return
+    finally:
+        conn.close()
+
+
+class ProcessWorkerHandle(WorkerHandle):
+    """A worker running in a real OS process behind a duplex pipe."""
+
+    #: how long to wait for a drain acknowledgement before declaring the
+    #: worker wedged (generous: a drain flushes every open lane).
+    DRAIN_TIMEOUT_SECONDS = 60.0
+
+    def __init__(self, worker_id: str, spec: WorkerSpec, start_method: Optional[str] = None):
+        import multiprocessing as mp
+
+        self.worker_id = worker_id
+        self.spec = spec
+        if start_method is None:
+            # fork (where available) inherits loaded modules -- startup in
+            # milliseconds instead of a fresh interpreter + numpy import
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_worker_process_main,
+            args=(child_conn, spec),
+            name=f"serving-worker-{worker_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        #: responses received while waiting for a command ack, kept for
+        #: the next poll_responses() call
+        self._response_buffer: Dict[str, List[bytes]] = {}
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise WorkerDeadError(f"worker {self.worker_id!r} process is dead")
+
+    def _send(self, msg) -> None:
+        self._require_alive()
+        self._conn.send(msg)
+
+    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
+        self._send(("register", client_id, key_id, relin_blob, galois_blobs))
+
+    def feed(self, client_id: str, data: bytes) -> None:
+        self._send(("frames", client_id, data))
+
+    def _absorb(self, msg) -> Optional[tuple]:
+        """Merge a responses reply into the buffer; pass anything else up."""
+        if msg[0] == "responses":
+            for client_id, frames in msg[1].items():
+                self._response_buffer.setdefault(client_id, []).extend(frames)
+            return None
+        return msg
+
+    #: how long to wait for a poll reply: generous because the worker
+    #: answers only between pumps, and one pump may execute a whole
+    #: backlog of due batch flushes.
+    POLL_TIMEOUT_SECONDS = 60.0
+
+    def poll_responses(self) -> Dict[str, List[bytes]]:
+        """Ask the worker for completed responses (one round-trip).
+
+        Request-reply by design: the worker never writes to the pipe
+        unless we are here (or in :meth:`drain` / :meth:`stats`) waiting
+        to read, so neither side can block mid-send against the other.
+        A worker that dies mid-poll just yields what was already
+        buffered; the router owns surfacing the loss.
+        """
+        if not self.alive:
+            out, self._response_buffer = self._response_buffer, {}
+            return out
+        try:
+            self._conn.send(("poll",))
+        except (BrokenPipeError, OSError):
+            out, self._response_buffer = self._response_buffer, {}
+            return out
+        deadline = time.monotonic() + self.POLL_TIMEOUT_SECONDS
+        while time.monotonic() < deadline:
+            if not self._conn.poll(0.005):
+                if not self.alive:
+                    break
+                continue
+            try:
+                msg = self._absorb(self._conn.recv())
+            except EOFError:
+                break
+            if msg is None:  # the responses reply we were waiting for
+                break
+        out, self._response_buffer = self._response_buffer, {}
+        return out
+
+    def begin_drain(self) -> None:
+        self._send(("stop_admitting",))
+
+    def drain(self, now: Optional[float] = None) -> int:
+        """Flush everything; blocks until the worker acknowledges."""
+        self._send(("drain",))
+        deadline = time.monotonic() + self.DRAIN_TIMEOUT_SECONDS
+        while time.monotonic() < deadline:
+            if not self._conn.poll(0.05):
+                self._require_alive()
+                continue
+            try:
+                msg = self._absorb(self._conn.recv())
+            except EOFError:
+                raise WorkerDeadError(
+                    f"worker {self.worker_id!r} died during drain"
+                ) from None
+            if msg is not None and msg[0] == "drained":
+                return msg[1]
+        raise TimeoutError(f"worker {self.worker_id!r} drain timed out")
+
+    def resume(self) -> None:
+        self._send(("resume",))
+
+    def kill(self) -> None:
+        """Hard-kill the process: everything in flight there is lost."""
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+        self._response_buffer.clear()
+
+    def stop(self) -> None:
+        """Graceful shutdown (drains nothing: call drain() first)."""
+        try:
+            if self.alive:
+                self._conn.send(("stop",))
+                self._proc.join(timeout=10.0)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        if self._proc.is_alive():  # pragma: no cover
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+
+    def stats(self) -> WorkerStats:
+        self._send(("stats",))
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if not self._conn.poll(0.05):
+                self._require_alive()
+                continue
+            try:
+                msg = self._absorb(self._conn.recv())
+            except EOFError:
+                raise WorkerDeadError(
+                    f"worker {self.worker_id!r} died answering stats"
+                ) from None
+            if msg is not None and msg[0] == "stats":
+                return msg[1]
+        raise TimeoutError(f"worker {self.worker_id!r} stats timed out")

@@ -5,12 +5,42 @@ from __future__ import annotations
 import pytest
 
 from repro.ckks.context import CkksContext, toy_parameters
+from repro.serving.clock import ManualClock
+from repro.serving.cluster import ServingCluster
 from repro.serving.traffic import SyntheticClient, SyntheticTenant
+from repro.serving.worker import LocalWorkerHandle, WorkerSpec
+
+
+@pytest.fixture()
+def manual_clock() -> ManualClock:
+    return ManualClock()
 
 
 @pytest.fixture(scope="session")
 def serving_context() -> CkksContext:
     return CkksContext(toy_parameters(n=64, k=3, prime_bits=30))
+
+
+@pytest.fixture()
+def make_cluster(serving_context, manual_clock):
+    """Factory for deterministic local-worker clusters on a manual clock."""
+
+    built = []
+
+    def _make(worker_count: int = 4, **kwargs) -> ServingCluster:
+        spec = WorkerSpec(params=serving_context.params)
+        cluster = ServingCluster(
+            lambda wid: LocalWorkerHandle(wid, spec, clock=manual_clock),
+            worker_count=worker_count,
+            clock=manual_clock,
+            **kwargs,
+        )
+        built.append(cluster)
+        return cluster
+
+    yield _make
+    for cluster in built:
+        cluster.stop()
 
 
 @pytest.fixture(scope="session")

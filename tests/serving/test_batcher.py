@@ -6,11 +6,13 @@ the full stack (real ciphertexts, real execution) is covered in
 ``test_server.py``.
 """
 
+import time
 from types import SimpleNamespace
 
 import pytest
 
 from repro.serving.batcher import DynamicBatcher, homogeneity_key
+from repro.serving.clock import ManualClock
 from repro.serving.queue import PendingRequest
 from repro.serving.session import ClientSession
 
@@ -121,6 +123,55 @@ class TestFlushPolicy:
             DynamicBatcher(max_batch_size=0)
         with pytest.raises(ValueError):
             DynamicBatcher(max_delay_seconds=-1.0)
+
+
+class TestInjectableClock:
+    """The batcher owns its clock: callers that pass no ``now`` still get
+    deterministic deadlines when a manual clock is installed, which is
+    how the cluster test layer controls every flush in every worker."""
+
+    def test_default_clock_is_wall_time(self):
+        assert DynamicBatcher().clock is time.monotonic
+
+    def test_add_and_due_read_the_owned_clock(self):
+        clock = ManualClock()
+        batcher = DynamicBatcher(
+            max_batch_size=8, max_delay_seconds=1.0, clock=clock
+        )
+        batcher.add(make_request())  # no explicit now: lane opens at 0.0
+        clock.advance(0.9)
+        assert batcher.due() == []
+        clock.advance(0.1)
+        (group,) = batcher.due()
+        assert len(group) == 1
+
+    def test_explicit_now_overrides_the_clock(self):
+        clock = ManualClock(start=100.0)
+        batcher = DynamicBatcher(
+            max_batch_size=8, max_delay_seconds=1.0, clock=clock
+        )
+        batcher.add(make_request(), now=0.0)
+        # the owned clock says 100.0, far past the deadline -- but the
+        # caller's now wins
+        assert batcher.due(now=0.5) == []
+        (group,) = batcher.due(now=1.0)
+        assert len(group) == 1
+
+    def test_deadline_straddle_is_reproducible(self):
+        """Two admissions straddling a deadline resolve identically on
+        every run -- the scenario wall-clock batchers made racy."""
+        for _ in range(3):
+            clock = ManualClock()
+            batcher = DynamicBatcher(
+                max_batch_size=8, max_delay_seconds=1.0, clock=clock
+            )
+            batcher.add(make_request())
+            clock.advance(0.999999)
+            batcher.add(make_request())  # lands just inside the deadline
+            assert batcher.due() == []
+            clock.advance(0.000001)
+            (group,) = batcher.due()
+            assert len(group) == 2  # both flush with the lane, every run
 
 
 class TestKeyMaterialIdentity:
