@@ -10,6 +10,7 @@
 #   make bench-serving-scale  sharded front-door gate (1 worker vs 4-worker pool)
 #   make bench-hoisting hoisted-rotation gate (decompose-once vs per-rotation keyswitch)
 #   make bench-residency data-residency gate (resident storage vs list interchange)
+#   make bench-wire     wire-format-v2 gate (bit-packed residues vs 8-byte words)
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
@@ -17,7 +18,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency vectors
+.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +52,10 @@ bench-hoisting:
 bench-residency:
 	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_residency.py -q -s
 	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_residency.py -q -s
+
+bench-wire:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_wire_bytes.py -q -s
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_wire_bytes.py -q -s
 
 vectors:
 	$(PYTHON) tests/vectors/regenerate.py

@@ -42,7 +42,9 @@ handle API is:
   produce handles so chained polynomial operations never pay a
   per-call lift/lower conversion;
 * :meth:`pack_rows` / :meth:`unpack_rows` -- straight bytes <->
-  native-matrix conversion for the wire format.
+  native-matrix conversion for the wire format, plus
+  :meth:`pack_rows_bits` / :meth:`unpack_rows_bits` for the bit-packed
+  v2 wire layout (per-modulus word width instead of 8-byte words).
 
 The base-class defaults express every handle operation through the
 single-row kernels over canonical lists, which *is* the reference
@@ -138,6 +140,99 @@ def canonical_rows(rows) -> List[List[int]]:
 #: Little-endian word width of one packed residue coefficient (the wire
 #: word the paper's bandwidth arithmetic assumes).
 ROW_WORD_BYTES = 8
+
+
+def packed_row_bytes(n: int, width_bits: int) -> int:
+    """Byte length of one residue row bit-packed at ``width_bits``/word.
+
+    Rows are packed independently (each starts on a byte boundary), so
+    a packed matrix is addressable row by row: ``ceil(n * w / 8)`` bytes
+    per row, zero-padded in the final byte.
+    """
+    if not 1 <= width_bits <= 64:
+        raise ValueError(f"packed word width {width_bits} outside 1..64")
+    return (n * width_bits + 7) // 8
+
+
+def _check_pack_bounds(handle, bounds) -> None:
+    if len(bounds) != len(handle):
+        raise ValueError(
+            f"matrix has {len(handle)} rows but {len(bounds)} bounds"
+        )
+
+
+def _pack_row_bits_py(row, bound: int, width: int) -> bytes:
+    """MSB-first bit concatenation via one big-int accumulator."""
+    acc = 0
+    for v in row:
+        v = int(v)
+        if not 0 <= v < bound:
+            raise ValueError(
+                f"residue {v} outside [0, {bound}); reduce rows before packing"
+            )
+        acc = (acc << width) | v
+    total_bits = len(row) * width
+    pad = (-total_bits) % 8
+    return (acc << pad).to_bytes((total_bits + pad) // 8, "big")
+
+
+def _unpack_row_bits_py(data, n: int, bound: int, width: int):
+    acc = int.from_bytes(data, "big")
+    pad = len(data) * 8 - n * width
+    if acc & ((1 << pad) - 1):
+        raise ValueError("nonzero padding bits in packed residue row")
+    acc >>= pad
+    mask = (1 << width) - 1
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        v = acc & mask
+        if v >= bound:
+            raise ValueError(
+                f"packed residue {v} outside [0, {bound}); corrupt row"
+            )
+        out[i] = v
+        acc >>= width
+    return out
+
+
+def _pack_row_bits_np(row, bound: int, width: int) -> bytes:
+    """One row through numpy's bit matrix: words -> MSB-first bit rows
+    -> one packed stream (packbits zero-pads the final byte)."""
+    arr = (
+        row
+        if isinstance(row, _np.ndarray) and row.dtype == _np.uint64
+        else _np.asarray(row, dtype=_np.uint64)
+    )
+    if arr.size and int(arr.max()) >= bound:
+        raise ValueError(
+            f"residue {int(arr.max())} outside [0, {bound}); "
+            "reduce rows before packing"
+        )
+    bits = _np.unpackbits(
+        arr.astype(">u8").view(_np.uint8).reshape(-1, ROW_WORD_BYTES), axis=1
+    )
+    return _np.packbits(bits[:, 64 - width :].ravel()).tobytes()
+
+
+def _unpack_row_bits_np(data, n: int, bound: int, width: int):
+    """Inverse of :func:`_pack_row_bits_np`; returns a uint64 vector."""
+    bits = _np.unpackbits(_np.frombuffer(data, dtype=_np.uint8))
+    if bits[n * width :].any():
+        raise ValueError("nonzero padding bits in packed residue row")
+    cols = _np.zeros((n, 64), dtype=_np.uint8)
+    cols[:, 64 - width :] = bits[: n * width].reshape(n, width)
+    vals = (
+        _np.packbits(cols, axis=1)
+        .view(">u8")
+        .ravel()
+        .astype(_np.uint64)
+    )
+    if vals.size and int(vals.max()) >= bound:
+        raise ValueError(
+            f"packed residue {int(vals.max())} outside [0, {bound}); "
+            "corrupt row"
+        )
+    return vals
 
 
 class PolynomialBackend(abc.ABC):
@@ -357,6 +452,65 @@ class PolynomialBackend(abc.ABC):
                 ]
             )
             offset += n * ROW_WORD_BYTES
+        return rows
+
+    def pack_rows_bits(self, handle, bounds: Sequence[int]) -> bytes:
+        """Serialize a residue matrix bit-packed to per-row word width.
+
+        ``bounds[i]`` is row ``i``'s modulus value; its coefficients
+        pack at ``bounds[i].bit_length()`` bits per word, MSB-first,
+        each row zero-padded to a byte boundary (wire format v2).  A
+        value outside ``[0, bounds[i])`` raises -- it cannot survive the
+        narrowed word.  Vectorized through numpy's packbits when
+        importable; the big-int loop is the numpy-less fallback.
+        """
+        _check_pack_bounds(handle, bounds)
+        chunks = []
+        for row, bound in zip(handle, bounds):
+            width = int(bound).bit_length()
+            packed_row_bytes(1, width)  # validate the width range
+            if _np is not None:
+                chunks.append(_pack_row_bits_np(row, int(bound), width))
+            else:
+                if hasattr(row, "tolist"):
+                    row = row.tolist()
+                chunks.append(_pack_row_bits_py(row, int(bound), width))
+        return b"".join(chunks)
+
+    def unpack_rows_bits(self, data, n: int, bounds: Sequence[int]):
+        """Deserialize per-row bit-packed rows into a native handle.
+
+        Inverse of :meth:`pack_rows_bits`: ``data`` must hold exactly
+        ``sum(packed_row_bytes(n, b.bit_length()))`` bytes.  Decoding
+        validates what the narrowed word lets it: nonzero padding bits
+        and residues ``>= bounds[i]`` both raise, so bit-level
+        corruption in the reachable range is rejected rather than
+        served.  The default produces canonical lists.
+        """
+        view = memoryview(data)
+        offset = 0
+        rows = []
+        for bound in bounds:
+            width = int(bound).bit_length()
+            nbytes = packed_row_bytes(n, width)
+            if offset + nbytes > len(view):
+                raise ValueError(
+                    f"truncated packed row: need {nbytes} bytes at offset "
+                    f"{offset}, have {len(view) - offset}"
+                )
+            chunk = view[offset : offset + nbytes]
+            if _np is not None:
+                rows.append(
+                    _unpack_row_bits_np(chunk, n, int(bound), width).tolist()
+                )
+            else:
+                rows.append(_unpack_row_bits_py(chunk, n, int(bound), width))
+            offset += nbytes
+        if offset != len(view):
+            raise ValueError(
+                f"trailing bytes after packed rows: {len(view)} bytes, "
+                f"expected {offset}"
+            )
         return rows
 
     # ------------------------------------------------------------------

@@ -210,6 +210,12 @@ class CountingBackend(PolynomialBackend):
     def unpack_rows(self, data, count, n):
         return self.inner.unpack_rows(data, count, n)
 
+    def pack_rows_bits(self, handle, bounds):
+        return self.inner.pack_rows_bits(handle, bounds)
+
+    def unpack_rows_bits(self, data, n, bounds):
+        return self.inner.unpack_rows_bits(data, n, bounds)
+
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------

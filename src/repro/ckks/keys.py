@@ -20,7 +20,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ckks.context import CkksContext
 from repro.ckks.poly import RnsPolynomial, restrict_to_moduli
-from repro.ckks.sampling import Sampler
+from repro.ckks.sampling import (
+    KEY_SEED_BYTES,
+    Sampler,
+    derive_key_seed,
+    expand_uniform_poly,
+)
 
 
 class SecretKey:
@@ -34,11 +39,19 @@ class SecretKey:
 
 
 class PublicKey:
-    """Public key ``(b, a) = SymEnc(0, s)`` over the data basis, NTT form."""
+    """Public key ``(b, a) = SymEnc(0, s)`` over the data basis, NTT form.
 
-    def __init__(self, b: RnsPolynomial, a: RnsPolynomial):
+    ``seed`` (when set) is the 32-byte expansion seed ``a`` was derived
+    from (:func:`repro.ckks.sampling.expand_uniform_poly`, index 0), so
+    the key can travel as seed + ``b`` only.
+    """
+
+    def __init__(
+        self, b: RnsPolynomial, a: RnsPolynomial, seed: Optional[bytes] = None
+    ):
         self.b = b
         self.a = a
+        self.seed = seed
 
 
 class KswitchKey:
@@ -47,12 +60,28 @@ class KswitchKey:
     Every pair lives over the full key basis (all data primes plus the
     special prime) in NTT form; Algorithm 7 restricts rows to the current
     level on the fly.
+
+    ``seed`` (when set) is the key's 32-byte expansion seed: digit
+    ``i``'s uniform column ``d1_i`` equals
+    ``expand_uniform_poly(seed, i, n, key_moduli)``, so wire format v2
+    can ship the seed plus the ``d0`` columns only (half the blob) and
+    the receiver regenerates the ``d1`` columns bit-identically.
     """
 
-    def __init__(self, digits: List[Tuple[RnsPolynomial, RnsPolynomial]]):
+    def __init__(
+        self,
+        digits: List[Tuple[RnsPolynomial, RnsPolynomial]],
+        seed: Optional[bytes] = None,
+    ):
         if not digits:
             raise ValueError("key-switching key needs at least one digit")
+        if seed is not None and len(seed) != KEY_SEED_BYTES:
+            raise ValueError(
+                f"expansion seed must be {KEY_SEED_BYTES} bytes, "
+                f"got {len(seed)}"
+            )
         self.digits = digits
+        self.seed = seed
         #: per-(backend, basis) stacked key columns; keys are immutable
         #: after generation so entries never need invalidation.
         self._stacked_cache: Dict[Tuple, Tuple[list, list]] = {}
@@ -115,8 +144,8 @@ class RelinKey(KswitchKey):
 class GaloisKey(KswitchKey):
     """Rotation key for one Galois element: ``KskGen(σ_g(s), s)``."""
 
-    def __init__(self, galois_elt: int, digits):
-        super().__init__(digits)
+    def __init__(self, galois_elt: int, digits, seed: Optional[bytes] = None):
+        super().__init__(digits, seed)
         self.galois_elt = galois_elt
 
 
@@ -142,11 +171,33 @@ class GaloisKeySet:
 
 
 class KeyGenerator:
-    """Generates all key material for a context (CKKS.KeyGen et al.)."""
+    """Generates all key material for a context (CKKS.KeyGen et al.).
 
-    def __init__(self, context: CkksContext, seed: Optional[int] = None):
+    ``expansion_seed`` (32 bytes) opts into seed-expandable keys: the
+    uniform ``a`` columns of the public key and every key-switching key
+    are expanded deterministically from per-key seeds derived from it
+    (:func:`repro.ckks.sampling.derive_key_seed`), and generated keys
+    carry their seed so wire format v2 ships 32 bytes in place of every
+    ``a`` column.  Secret, error, and ternary draws still come from
+    ``sampler`` -- the seed only replaces *public* randomness.  The
+    default (``None``) keeps the legacy sampling order bit-identical
+    (the frozen golden vectors depend on it).
+    """
+
+    def __init__(
+        self,
+        context: CkksContext,
+        seed: Optional[int] = None,
+        expansion_seed: Optional[bytes] = None,
+    ):
         self.context = context
         self.sampler = Sampler(seed)
+        if expansion_seed is not None and len(expansion_seed) != KEY_SEED_BYTES:
+            raise ValueError(
+                f"expansion_seed must be {KEY_SEED_BYTES} bytes, "
+                f"got {len(expansion_seed)}"
+            )
+        self.expansion_seed = expansion_seed
         self._secret = self._generate_secret()
 
     # ------------------------------------------------------------------
@@ -159,33 +210,59 @@ class KeyGenerator:
     def secret_key(self) -> SecretKey:
         return self._secret
 
-    def _symmetric_zero(self, moduli) -> Tuple[RnsPolynomial, RnsPolynomial]:
-        """``SymEnc(0, s)`` over the given basis: ``(-(a s) + e, a)``."""
+    def _symmetric_zero(
+        self, moduli, expand: Optional[Tuple[bytes, int]] = None
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """``SymEnc(0, s)`` over the given basis: ``(-(a s) + e, a)``.
+
+        ``expand=(key_seed, index)`` sources ``a`` from the seed
+        expander instead of the sampler (the error draw still comes
+        from the sampler -- error randomness must never be derivable
+        from bytes that go on the wire).
+        """
         ctx = self.context
         be = ctx.backend
-        a = self.sampler.uniform_residues(ctx.n, moduli)
+        if expand is not None:
+            a = expand_uniform_poly(expand[0], expand[1], ctx.n, moduli)
+        else:
+            a = self.sampler.uniform_residues(ctx.n, moduli)
         e = ctx.to_ntt(self.sampler.gaussian_poly(ctx.n, moduli))
         s = self._secret.restricted(moduli)
         b = a.dyadic_multiply(s, backend=be).negate(backend=be).add(e, backend=be)
         return b, a
 
+    def _key_seed(self, tag: bytes) -> Optional[bytes]:
+        if self.expansion_seed is None:
+            return None
+        return derive_key_seed(self.expansion_seed, tag)
+
     def public_key(self) -> PublicKey:
         """Public key over the data basis (no special prime)."""
-        b, a = self._symmetric_zero(self.context.data_basis.moduli)
-        return PublicKey(b, a)
+        key_seed = self._key_seed(b"public")
+        b, a = self._symmetric_zero(
+            self.context.data_basis.moduli,
+            expand=(key_seed, 0) if key_seed is not None else None,
+        )
+        return PublicKey(b, a, seed=key_seed)
 
     # ------------------------------------------------------------------
     # key switching keys
     # ------------------------------------------------------------------
-    def _kswitch_key(self, target_ntt: RnsPolynomial) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+    def _kswitch_key(
+        self, target_ntt: RnsPolynomial, tag: bytes
+    ) -> Tuple[List[Tuple[RnsPolynomial, RnsPolynomial]], Optional[bytes]]:
         """KskGen: encrypt ``P * g_i * target`` under ``s`` per digit ``i``."""
         ctx = self.context
         be = ctx.backend
         key_moduli = ctx.key_basis.moduli
         special = ctx.special_modulus
+        key_seed = self._key_seed(tag)
         digits = []
         for i in range(ctx.k):
-            b, a = self._symmetric_zero(key_moduli)
+            b, a = self._symmetric_zero(
+                key_moduli,
+                expand=(key_seed, i) if key_seed is not None else None,
+            )
             # Add [P]_{p_i} * [target]_{p_i} to residue row i of b only.
             mod_i = key_moduli[i]
             factor = special.value % mod_i.value
@@ -195,13 +272,13 @@ class KeyGenerator:
                 backend=be,
             )
             digits.append((b, a))
-        return digits
+        return digits, key_seed
 
     def relin_key(self) -> RelinKey:
         """``CKKS.RlkGen``: key switching key for ``s^2``."""
         s = self._secret.poly
         s_squared = s.dyadic_multiply(s, backend=self.context.backend)
-        return RelinKey(self._kswitch_key(s_squared))
+        return RelinKey(*self._kswitch_key(s_squared, b"relin"))
 
     def galois_key(self, galois_elt: int) -> GaloisKey:
         """``CKKS.GlkGen`` for one automorphism ``X -> X^g``.
@@ -212,7 +289,10 @@ class KeyGenerator:
         ctx = self.context
         s_coeff = ctx.from_ntt(self._secret.poly)
         s_rotated = ctx.to_ntt(ctx.apply_galois(s_coeff, galois_elt))
-        return GaloisKey(galois_elt, self._kswitch_key(s_rotated))
+        digits, key_seed = self._kswitch_key(
+            s_rotated, b"galois:%d" % galois_elt
+        )
+        return GaloisKey(galois_elt, digits, key_seed)
 
     def galois_keys(self, steps: Iterable[int], conjugation: bool = False) -> GaloisKeySet:
         """Generate rotation keys for the given slot steps (and optionally

@@ -9,6 +9,7 @@ security standard [1]).  All sampling is routed through a seeded
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import List, Optional, Sequence
@@ -21,6 +22,54 @@ ERROR_STDDEV = 3.2
 
 #: Truncation bound in standard deviations.
 ERROR_TRUNCATION_SIGMAS = 6
+
+#: Byte length of a key-expansion seed (wire format v2 ships this in
+#: place of every ``a`` column of a seed-expandable key).
+KEY_SEED_BYTES = 32
+
+
+def derive_key_seed(master: bytes, tag: bytes) -> bytes:
+    """Derive one key's expansion seed from a master seed and a role tag.
+
+    Each generated key (public, relin, one per Galois element) gets its
+    own independent 32-byte seed, so shipping one key's seed on the wire
+    reveals nothing about any other key's ``a`` columns.
+    """
+    return hashlib.sha256(b"heax-key-seed:" + master + b":" + tag).digest()
+
+
+def expand_uniform_poly(
+    seed: bytes, index: int, n: int, moduli: Sequence[Modulus]
+) -> RnsPolynomial:
+    """Deterministically expand ``a <- U(R_q)`` from a 32-byte seed.
+
+    The standard RLWE seed-expansion trick: the uniform column of a key
+    is public randomness, so a key blob can ship the seed instead and
+    the receiver regenerates ``a`` bit-identically.  ``index`` selects
+    the gadget digit (a key-switching key holds one uniform polynomial
+    per digit; the public key uses index 0).
+
+    The expansion is pure Python -- ``random.Random.getrandbits`` with
+    rejection sampling below each modulus -- so it is bit-identical
+    across backends and platforms by construction, which the wire
+    format's cross-backend decode equality relies on.
+    """
+    if len(seed) != KEY_SEED_BYTES:
+        raise ValueError(
+            f"expansion seed must be {KEY_SEED_BYTES} bytes, got {len(seed)}"
+        )
+    digest = hashlib.sha256(seed + index.to_bytes(4, "little")).digest()
+    rng = random.Random(int.from_bytes(digest, "big"))
+    residues = []
+    for m in moduli:
+        width = m.value.bit_length()
+        row = []
+        while len(row) < n:
+            v = rng.getrandbits(width)
+            if v < m.value:
+                row.append(v)
+        residues.append(row)
+    return RnsPolynomial(n, list(moduli), residues, is_ntt=True)
 
 
 class Sampler:

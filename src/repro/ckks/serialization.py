@@ -8,38 +8,66 @@ Two purposes:
    (Section 5.2 sends whole polynomials of ``2^15``-``2^17`` bytes) and
    DRAM-resident key material (Section 5.1).
 
-Format: a small fixed header (magic, version, kind, n, component/basis
-counts, NTT flag, scale as IEEE-754) followed by residue polynomials as
-little-endian 8-byte words -- matching the 64-bit wire word the paper's
-bandwidth arithmetic assumes.
+Two wire versions share one fixed header (magic, version, kind, n,
+component/basis counts, NTT flag, scale as IEEE-754):
+
+* **v1** stores every residue as a little-endian 8-byte word --
+  matching the 64-bit wire word the paper's bandwidth arithmetic
+  assumes.  The v1 byte layout is frozen; old blobs decode forever.
+* **v2** bit-packs each residue row to its modulus width (a 54-bit
+  prime costs 54 bits per coefficient, not 64; rows stay byte-aligned
+  so a packed matrix is addressable row by row), and key-switching
+  keys may ship **seed-expanded**: a 32-byte expansion seed replaces
+  every uniform ``a`` column (:mod:`repro.ckks.sampling`), roughly
+  halving key upload on top of the packing win.
 
 Packing and unpacking go straight between wire bytes and the backend's
 *native residue matrices* (:meth:`PolynomialBackend.pack_rows` /
-``unpack_rows``): the serving layer (de)serializes every request, and
-with backend-resident polynomial storage there is no intermediate
+``unpack_rows`` for v1, ``pack_rows_bits`` / ``unpack_rows_bits`` for
+v2): the serving layer (de)serializes every request, and with
+backend-resident polynomial storage there is no intermediate
 list-of-int step in either direction -- deserialized ciphertexts arrive
 already resident, serialized ones pack from the resident matrix.
+
+Header fields are validated at *serialize* time too: ``level_count``
+shares its 16-bit field with the NTT flag (bit 15), so a level count
+``>= 0x8000`` -- or ``comps > 0xFFFF``, ``n > 0xFFFFFFFF`` -- would
+silently corrupt the flag / wrap via struct packing.  Out-of-range
+shapes raise instead of producing a valid-looking wrong blob.
 """
 
 from __future__ import annotations
 
 import math
 import struct
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.ckks.backend import get_backend
-from repro.ckks.backend.base import ROW_WORD_BYTES
+from repro.ckks.backend.base import ROW_WORD_BYTES, packed_row_bytes
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import KswitchKey
 from repro.ckks.poly import Ciphertext, Plaintext, RnsPolynomial
+from repro.ckks.sampling import KEY_SEED_BYTES, expand_uniform_poly
 
 MAGIC = b"HEAX"
+#: Default (legacy) wire version: 8-byte words, full key matrices.
 VERSION = 1
+#: Bit-packed residues + seed-expandable keys.
+VERSION_PACKED = 2
+#: Every version this module encodes and decodes.
+SUPPORTED_VERSIONS = (VERSION, VERSION_PACKED)
+#: What a server should offer in version negotiation.
+LATEST_VERSION = VERSION_PACKED
+
 WORD_BYTES = ROW_WORD_BYTES
 
 _KIND_CIPHERTEXT = 1
 _KIND_PLAINTEXT = 2
 _KIND_KSWITCH_KEY = 3
+
+#: v2 key-switching-key layout byte (first payload byte after the header).
+_KSK_LAYOUT_FULL = 0
+_KSK_LAYOUT_SEEDED = 1
 
 _HEADER = struct.Struct("<4sBBIHHd")  # magic, ver, kind, n, comps, rns, scale
 
@@ -47,20 +75,140 @@ _HEADER = struct.Struct("<4sBBIHHd")  # magic, ver, kind, n, comps, rns, scale
 HEADER_BYTES = _HEADER.size
 
 
-def polynomial_wire_bytes(n: int) -> int:
-    """Wire size of one residue polynomial -- the paper's PCIe unit."""
-    return n * WORD_BYTES
+def _check_version(version: int) -> None:
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported version {version}")
 
 
-def ciphertext_wire_bytes(n: int, size: int, level_count: int) -> int:
-    """Payload bytes of a ciphertext (header excluded)."""
-    return size * level_count * polynomial_wire_bytes(n)
+def _width(modulus) -> int:
+    """Packed word width of one modulus (accepts Modulus or int)."""
+    return int(getattr(modulus, "value", modulus)).bit_length()
+
+
+def _bounds(moduli) -> List[int]:
+    """Per-row exclusive residue bounds (accepts Modulus or int items)."""
+    return [int(getattr(m, "value", m)) for m in moduli]
+
+
+def _require_moduli(moduli, level_count: int, version: int):
+    if moduli is None:
+        raise ValueError(
+            f"v{version} sizes depend on per-modulus widths; pass moduli"
+        )
+    if len(moduli) != level_count:
+        raise ValueError(
+            f"moduli count {len(moduli)} does not match level count "
+            f"{level_count}"
+        )
+    return moduli
+
+
+def polynomial_wire_bytes(
+    n: int, version: int = VERSION, width_bits: int = 8 * WORD_BYTES
+) -> int:
+    """Wire size of one residue polynomial -- the paper's PCIe unit.
+
+    v1 ships 8-byte words regardless of ``width_bits``; v2 bit-packs to
+    ``width_bits`` per word (the row's modulus width).
+    """
+    _check_version(version)
+    if version == VERSION:
+        return n * WORD_BYTES
+    return packed_row_bytes(n, width_bits)
+
+
+def ciphertext_wire_bytes(
+    n: int,
+    size: int,
+    level_count: int,
+    version: int = VERSION,
+    moduli: Optional[Sequence] = None,
+) -> int:
+    """Payload bytes of a ciphertext (header excluded).
+
+    For v2 the per-row widths matter, so the basis ``moduli`` (one per
+    level) must be supplied; the result is exact -- the scheduler's
+    PCIe model and ``len(serialize_ciphertext(ct, version)) -
+    HEADER_BYTES`` agree byte for byte.
+    """
+    _check_version(version)
+    if version == VERSION:
+        return size * level_count * polynomial_wire_bytes(n)
+    moduli = _require_moduli(moduli, level_count, version)
+    return size * sum(
+        packed_row_bytes(n, _width(m)) for m in moduli
+    )
+
+
+def plaintext_wire_bytes(
+    n: int,
+    level_count: int,
+    version: int = VERSION,
+    moduli: Optional[Sequence] = None,
+) -> int:
+    """Payload bytes of a plaintext (one component)."""
+    return ciphertext_wire_bytes(n, 1, level_count, version, moduli)
+
+
+def kswitch_key_wire_bytes(
+    n: int,
+    k: int,
+    version: int = VERSION,
+    moduli: Optional[Sequence] = None,
+    seeded: bool = False,
+) -> int:
+    """ksk payload: k digits x 2 columns x (k+1) residues x n words.
+
+    For Set-C this is the 151 Mb (two column sets combined) of Section
+    5.1's DRAM-bandwidth argument.  v2 bit-packs every row (pass the
+    ``k + 1`` key-basis ``moduli``) and, when ``seeded``, replaces the
+    whole uniform column set with one 32-byte expansion seed.
+    """
+    _check_version(version)
+    if version == VERSION:
+        if seeded:
+            raise ValueError("v1 cannot carry a seed-expanded key")
+        return k * 2 * (k + 1) * n * WORD_BYTES
+    moduli = _require_moduli(moduli, k + 1, version)
+    per_digit = sum(packed_row_bytes(n, _width(m)) for m in moduli)
+    if seeded:
+        return 1 + KEY_SEED_BYTES + k * per_digit
+    return 1 + k * 2 * per_digit
+
+
+def _check_header_fields(n: int, comps: int, level_count: int) -> None:
+    """Reject shapes the fixed header cannot represent.
+
+    ``level_count`` shares its u16 with the NTT flag (bit 15); ``comps``
+    and ``n`` would wrap silently through struct packing.  Each raises
+    with the offending field named -- at serialize time, so a corrupt
+    blob is never produced.
+    """
+    if not 1 <= n <= 0xFFFFFFFF:
+        raise ValueError(f"ring degree {n} outside the header's u32 field")
+    if not 1 <= comps <= 0xFFFF:
+        raise ValueError(
+            f"component count {comps} outside the header's u16 field"
+        )
+    if not 1 <= level_count <= 0x7FFF:
+        raise ValueError(
+            f"level count {level_count} collides with the header's NTT "
+            "flag (bit 15 of the u16 field)"
+        )
 
 
 def _pack_residues(poly: RnsPolynomial, out: List[bytes], backend=None) -> None:
     """Append the polynomial's packed rows, straight from the native matrix."""
     be = backend if backend is not None else get_backend()
     out.append(be.pack_rows(poly.rows))
+
+
+def _pack_residues_bits(
+    poly: RnsPolynomial, out: List[bytes], backend=None
+) -> None:
+    """Append the polynomial's bit-packed rows (v2 wire layout)."""
+    be = backend if backend is not None else get_backend()
+    out.append(be.pack_rows_bits(poly.rows, _bounds(poly.moduli)))
 
 
 def _unpack_residues(data: memoryview, offset: int, n: int, count: int, backend):
@@ -74,28 +222,44 @@ def _unpack_residues(data: memoryview, offset: int, n: int, count: int, backend)
     return backend.unpack_rows(data[offset:end], count, n), end
 
 
-def serialize_ciphertext(ct: Ciphertext) -> bytes:
+def _unpack_residues_bits(
+    data: memoryview, offset: int, n: int, bounds: List[int], backend
+):
+    """Read one bit-packed polynomial (len(bounds) rows) into a handle."""
+    end = offset + sum(packed_row_bytes(n, b.bit_length()) for b in bounds)
+    return backend.unpack_rows_bits(data[offset:end], n, bounds), end
+
+
+def serialize_ciphertext(ct: Ciphertext, version: int = VERSION) -> bytes:
+    _check_version(version)
+    _check_header_fields(ct.n, ct.size, ct.level_count)
     header = _HEADER.pack(
-        MAGIC, VERSION, _KIND_CIPHERTEXT, ct.n, ct.size,
+        MAGIC, version, _KIND_CIPHERTEXT, ct.n, ct.size,
         ct.level_count | (0x8000 if ct.is_ntt else 0), ct.scale,
     )
     chunks = [header]
+    pack = _pack_residues if version == VERSION else _pack_residues_bits
     for poly in ct.polys:
-        _pack_residues(poly, chunks)
+        pack(poly, chunks)
     return b"".join(chunks)
 
 
-def serialize_plaintext(pt: Plaintext) -> bytes:
+def serialize_plaintext(pt: Plaintext, version: int = VERSION) -> bytes:
+    _check_version(version)
+    _check_header_fields(pt.n, 1, pt.level_count)
     header = _HEADER.pack(
-        MAGIC, VERSION, _KIND_PLAINTEXT, pt.n, 1,
+        MAGIC, version, _KIND_PLAINTEXT, pt.n, 1,
         pt.level_count | (0x8000 if pt.poly.is_ntt else 0), pt.scale,
     )
     chunks = [header]
-    _pack_residues(pt.poly, chunks)
+    if version == VERSION:
+        _pack_residues(pt.poly, chunks)
+    else:
+        _pack_residues_bits(pt.poly, chunks)
     return b"".join(chunks)
 
 
-def _parse_header(data: bytes) -> Tuple[int, int, int, int, bool, float]:
+def _parse_header(data: bytes) -> Tuple[int, int, int, int, int, bool, float]:
     if len(data) < _HEADER.size:
         raise ValueError(
             f"truncated header: {len(data)} bytes, need {_HEADER.size}"
@@ -103,18 +267,17 @@ def _parse_header(data: bytes) -> Tuple[int, int, int, int, bool, float]:
     magic, version, kind, n, comps, rns_flags, scale = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise ValueError("not a HEAX-serialized object")
-    if version != VERSION:
-        raise ValueError(f"unsupported version {version}")
+    _check_version(version)
     is_ntt = bool(rns_flags & 0x8000)
     rns = rns_flags & 0x7FFF
     if n < 1 or comps < 1 or rns < 1:
         raise ValueError(
             f"malformed header: n={n}, components={comps}, rns={rns}"
         )
-    return kind, n, comps, rns, is_ntt, scale
+    return version, kind, n, comps, rns, is_ntt, scale
 
 
-def _check_payload(data: bytes, n: int, rows: int) -> None:
+def _check_payload(data: bytes, payload_bytes: int) -> None:
     """Require the byte count to match the header's shape *exactly*.
 
     A short buffer must raise, not deserialize: without this check a
@@ -123,7 +286,7 @@ def _check_payload(data: bytes, n: int, rows: int) -> None:
     bytes are rejected too -- a frame that claims to be one object must
     be exactly that object.
     """
-    expected = _HEADER.size + rows * n * WORD_BYTES
+    expected = _HEADER.size + payload_bytes
     if len(data) < expected:
         raise ValueError(
             f"truncated payload: {len(data)} bytes, expected {expected}"
@@ -148,26 +311,32 @@ def _check_scale(scale: float) -> None:
 
 
 def deserialize_ciphertext(data: bytes, context: CkksContext) -> Ciphertext:
-    kind, n, comps, rns, is_ntt, scale = _parse_header(data)
+    version, kind, n, comps, rns, is_ntt, scale = _parse_header(data)
     if kind != _KIND_CIPHERTEXT:
         raise ValueError("serialized object is not a ciphertext")
     if n != context.n:
         raise ValueError(f"ring mismatch: {n} vs context {context.n}")
     _check_scale(scale)
-    _check_payload(data, n, comps * rns)
     be = context.backend
     moduli = context.basis_at_level(rns).moduli
+    _check_payload(
+        data, comps * ciphertext_wire_bytes(n, 1, rns, version, moduli)
+    )
+    bounds = _bounds(moduli)
     view = memoryview(data)
     offset = _HEADER.size
     polys = []
     for _ in range(comps):
-        rows, offset = _unpack_residues(view, offset, n, rns, be)
+        if version == VERSION:
+            rows, offset = _unpack_residues(view, offset, n, rns, be)
+        else:
+            rows, offset = _unpack_residues_bits(view, offset, n, bounds, be)
         polys.append(RnsPolynomial(n, moduli, rows, is_ntt))
     return Ciphertext(polys, scale)
 
 
 def deserialize_plaintext(data: bytes, context: CkksContext) -> Plaintext:
-    kind, n, comps, rns, is_ntt, scale = _parse_header(data)
+    version, kind, n, comps, rns, is_ntt, scale = _parse_header(data)
     if kind != _KIND_PLAINTEXT:
         raise ValueError("serialized object is not a plaintext")
     if n != context.n:
@@ -175,58 +344,120 @@ def deserialize_plaintext(data: bytes, context: CkksContext) -> Plaintext:
     if comps != 1:
         raise ValueError(f"plaintext must have one component, got {comps}")
     _check_scale(scale)
-    _check_payload(data, n, rns)
     moduli = context.basis_at_level(rns).moduli
-    rows, _ = _unpack_residues(
-        memoryview(data), _HEADER.size, n, rns, context.backend
-    )
+    _check_payload(data, plaintext_wire_bytes(n, rns, version, moduli))
+    if version == VERSION:
+        rows, _ = _unpack_residues(
+            memoryview(data), _HEADER.size, n, rns, context.backend
+        )
+    else:
+        rows, _ = _unpack_residues_bits(
+            memoryview(data), _HEADER.size, n, _bounds(moduli), context.backend
+        )
     return Plaintext(RnsPolynomial(n, moduli, rows, is_ntt), scale)
 
 
-def serialize_kswitch_key(ksk: KswitchKey) -> bytes:
-    """Serialize a key-switching key (the object streamed from DRAM)."""
+def serialize_kswitch_key(ksk: KswitchKey, version: int = VERSION) -> bytes:
+    """Serialize a key-switching key (the object streamed from DRAM).
+
+    v1 ships both column sets as 8-byte words (frozen layout).  v2
+    bit-packs every row and, when the key carries an expansion seed
+    (:attr:`KswitchKey.seed`), ships the seed in place of the whole
+    uniform column set -- the receiver regenerates ``d1_i`` from it
+    bit-identically.
+    """
+    _check_version(version)
     d0, _ = ksk.digit(0)
+    _check_header_fields(d0.n, ksk.digit_count, d0.level_count)
     header = _HEADER.pack(
-        MAGIC, VERSION, _KIND_KSWITCH_KEY, d0.n, ksk.digit_count,
+        MAGIC, version, _KIND_KSWITCH_KEY, d0.n, ksk.digit_count,
         d0.level_count | 0x8000, 0.0,
     )
     chunks = [header]
-    for b, a in ksk.digits:
-        _pack_residues(b, chunks)
-        _pack_residues(a, chunks)
+    if version == VERSION:
+        for b, a in ksk.digits:
+            _pack_residues(b, chunks)
+            _pack_residues(a, chunks)
+        return b"".join(chunks)
+    if ksk.seed is not None:
+        chunks.append(bytes([_KSK_LAYOUT_SEEDED]))
+        chunks.append(ksk.seed)
+        for b, _a in ksk.digits:
+            _pack_residues_bits(b, chunks)
+    else:
+        chunks.append(bytes([_KSK_LAYOUT_FULL]))
+        for b, a in ksk.digits:
+            _pack_residues_bits(b, chunks)
+            _pack_residues_bits(a, chunks)
     return b"".join(chunks)
 
 
 def deserialize_kswitch_key(data: bytes, context: CkksContext) -> KswitchKey:
-    kind, n, digits, rns, _, _ = _parse_header(data)
+    version, kind, n, digits, rns, is_ntt, _ = _parse_header(data)
     if kind != _KIND_KSWITCH_KEY:
         raise ValueError("serialized object is not a key-switching key")
+    if not is_ntt:
+        # key-switching keys are generated and consumed in NTT form
+        # (Algorithm 7 MACs against them dyadically); a cleared flag is
+        # either corruption or a forged non-NTT key -- honoring it would
+        # hand the evaluator coefficient-domain rows it multiplies as if
+        # they were evaluations
+        raise ValueError(
+            "key-switching key blob claims coefficient form; keys are "
+            "NTT-form by construction"
+        )
     if n != context.n:
         raise ValueError(f"ring mismatch: {n} vs context {context.n}")
     moduli = list(context.key_basis.moduli)
     if rns != len(moduli):
         raise ValueError("key basis size mismatch")
-    _check_payload(data, n, digits * 2 * rns)
     be = context.backend
     view = memoryview(data)
-    offset = _HEADER.size
-    out = []
-    for _ in range(digits):
-        rows_b, offset = _unpack_residues(view, offset, n, rns, be)
-        rows_a, offset = _unpack_residues(view, offset, n, rns, be)
-        out.append(
-            (
-                RnsPolynomial(n, moduli, rows_b, True),
-                RnsPolynomial(n, moduli, rows_a, True),
+    if version == VERSION:
+        _check_payload(data, digits * 2 * rns * n * WORD_BYTES)
+        offset = _HEADER.size
+        out = []
+        for _ in range(digits):
+            rows_b, offset = _unpack_residues(view, offset, n, rns, be)
+            rows_a, offset = _unpack_residues(view, offset, n, rns, be)
+            out.append(
+                (
+                    RnsPolynomial(n, moduli, rows_b, True),
+                    RnsPolynomial(n, moduli, rows_a, True),
+                )
             )
-        )
-    return KswitchKey(out)
+        return KswitchKey(out)
+    # ---- v2: layout byte, then seeded or full bit-packed columns ----
+    if len(data) < _HEADER.size + 1:
+        raise ValueError("truncated payload: missing v2 key layout byte")
+    layout = data[_HEADER.size]
+    if layout not in (_KSK_LAYOUT_FULL, _KSK_LAYOUT_SEEDED):
+        raise ValueError(f"unknown v2 key layout {layout}")
+    seeded = layout == _KSK_LAYOUT_SEEDED
+    _check_payload(data, _ksk_v2_payload_bytes(n, digits, moduli, seeded))
+    bounds = _bounds(moduli)
+    offset = _HEADER.size + 1
+    seed = None
+    if seeded:
+        seed = bytes(view[offset : offset + KEY_SEED_BYTES])
+        offset += KEY_SEED_BYTES
+    out = []
+    for i in range(digits):
+        rows_b, offset = _unpack_residues_bits(view, offset, n, bounds, be)
+        poly_b = RnsPolynomial(n, moduli, rows_b, True)
+        if seeded:
+            poly_a = expand_uniform_poly(seed, i, n, moduli)
+        else:
+            rows_a, offset = _unpack_residues_bits(view, offset, n, bounds, be)
+            poly_a = RnsPolynomial(n, moduli, rows_a, True)
+        out.append((poly_b, poly_a))
+    return KswitchKey(out, seed=seed)
 
 
-def kswitch_key_wire_bytes(n: int, k: int) -> int:
-    """ksk payload: k digits x 2 columns x (k+1) residues x n words.
-
-    For Set-C this is the 151 Mb (two column sets combined) of Section
-    5.1's DRAM-bandwidth argument.
-    """
-    return k * 2 * (k + 1) * n * WORD_BYTES
+def _ksk_v2_payload_bytes(
+    n: int, digits: int, moduli, seeded: bool
+) -> int:
+    per_digit = sum(packed_row_bytes(n, _width(m)) for m in moduli)
+    if seeded:
+        return 1 + KEY_SEED_BYTES + digits * per_digit
+    return 1 + digits * 2 * per_digit

@@ -46,7 +46,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.ckks.keys import GaloisKeySet, RelinKey
-from repro.ckks.serialization import serialize_kswitch_key
+from repro.ckks.serialization import (
+    LATEST_VERSION,
+    SUPPORTED_VERSIONS,
+    VERSION,
+    serialize_kswitch_key,
+)
 from repro.serving import framing
 from repro.serving.framing import Frame, FrameDecoder, StreamProtocolError
 from repro.serving.session import UnknownClientError
@@ -125,6 +130,7 @@ class _ClientRecord:
     client_id: str
     key_id: str
     worker_id: str
+    wire_version: int = VERSION
     decoder: FrameDecoder = field(default_factory=FrameDecoder)
     outbox: List[bytes] = field(default_factory=list)
 
@@ -183,6 +189,7 @@ class ServingCluster:
         key_id: str,
         relin_key: Optional[RelinKey] = None,
         galois_keys: Optional[GaloisKeySet] = None,
+        wire_version: int = VERSION,
     ) -> None:
         """Install one tenant's key material (serialized once, here).
 
@@ -190,11 +197,26 @@ class ServingCluster:
         client claiming a tenant's id gets exactly that tenant's keys,
         so it can never smuggle different key material into the
         tenant's batch lanes.
+
+        ``wire_version`` selects the format of the stored blobs -- the
+        bytes every worker upload (including failover re-uploads) ships.
+        Version 2 with seed-expandable keys roughly halves the upload.
         """
-        relin_blob = serialize_kswitch_key(relin_key) if relin_key else None
+        if wire_version not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported wire version {wire_version}; "
+                f"supported: {SUPPORTED_VERSIONS}"
+            )
+        relin_blob = (
+            serialize_kswitch_key(relin_key, version=wire_version)
+            if relin_key
+            else None
+        )
         galois_blobs = (
             {
-                elt: serialize_kswitch_key(galois_keys.key_for_element(elt))
+                elt: serialize_kswitch_key(
+                    galois_keys.key_for_element(elt), version=wire_version
+                )
                 for elt in galois_keys.elements()
             }
             if galois_keys
@@ -202,13 +224,22 @@ class ServingCluster:
         )
         self._tenants[key_id] = _TenantKeys(relin_blob, galois_blobs)
 
-    def register_client(self, client_id: str, key_id: str) -> str:
+    def register_client(
+        self, client_id: str, key_id: str, wire_version: int = VERSION
+    ) -> str:
         """Open a session; returns the worker it was placed on.
 
         Re-registering an existing client with the same ``key_id`` is
         idempotent (a reconnecting socket client re-sends HELLO); with a
-        different ``key_id`` it is an error.
+        different ``key_id`` it is an error.  ``wire_version`` is the
+        version this client's responses are serialized at; a reconnect
+        may renegotiate it.
         """
+        if wire_version not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported wire version {wire_version}; "
+                f"supported: {SUPPORTED_VERSIONS}"
+            )
         existing = self._clients.get(client_id)
         if existing is not None:
             if existing.key_id != key_id:
@@ -216,13 +247,17 @@ class ServingCluster:
                     f"client {client_id!r} is registered under key_id "
                     f"{existing.key_id!r}, not {key_id!r}"
                 )
+            if existing.wire_version != wire_version:
+                # a reconnect renegotiated: refresh the worker session
+                existing.wire_version = wire_version
+                self._register_at_worker(existing.worker_id, existing)
             return existing.worker_id
         if key_id not in self._tenants:
             raise KeyError(
                 f"unknown key_id {key_id!r}: register the tenant's keys first"
             )
         worker_id = self.ring.place(key_id)
-        record = _ClientRecord(client_id, key_id, worker_id)
+        record = _ClientRecord(client_id, key_id, worker_id, wire_version)
         self._register_at_worker(worker_id, record)
         self._clients[client_id] = record
         return worker_id
@@ -233,7 +268,8 @@ class ServingCluster:
         if record.key_id in uploaded:
             # the worker caches key objects per key_id: no blob re-send
             self.workers[worker_id].register_session(
-                record.client_id, record.key_id, None, None
+                record.client_id, record.key_id, None, None,
+                record.wire_version,
             )
         else:
             self.workers[worker_id].register_session(
@@ -241,6 +277,7 @@ class ServingCluster:
                 record.key_id,
                 tenant.relin_blob,
                 tenant.galois_blobs,
+                record.wire_version,
             )
             uploaded.add(record.key_id)
 
@@ -529,8 +566,13 @@ class AsyncFrontDoor:
 
     Connection protocol: the first frame must be a HELLO (``client_id``
     = the session to open, ``op`` = the tenant's ``key_id``, whose keys
-    must already be registered with the cluster); REQUEST frames follow
-    on the same connection and responses stream back as they complete.
+    must already be registered with the cluster, ``op_arg`` = highest
+    wire-format version the client speaks, 0 meaning legacy v1 with no
+    acknowledgement); REQUEST frames follow on the same connection and
+    responses stream back as they complete.  A versioned HELLO is
+    acknowledged with a RESPONSE frame (``op="hello"``) whose ``op_arg``
+    is the negotiated version the server will use for this client's
+    responses.
     A malformed stream is answered for every frame decoded ahead of the
     corruption, then the connection is closed -- the framing cannot be
     resynchronized.
@@ -629,8 +671,18 @@ class AsyncFrontDoor:
     ) -> Optional[str]:
         """Handle one decoded frame; returns the connection's client id."""
         if frame.kind == framing.HELLO:
+            # version negotiation: ``op_arg`` carries the highest wire
+            # version the client speaks.  0 is the legacy HELLO -- a v1
+            # session with no acknowledgement, byte-identical to the
+            # pre-negotiation protocol.  A nonzero request is answered
+            # with a RESPONSE echoing the *negotiated* version
+            # (min(requested, LATEST_VERSION)) in its own ``op_arg``.
+            requested = frame.op_arg
+            negotiated = min(requested, LATEST_VERSION) if requested > 0 else VERSION
             try:
-                self.cluster.register_client(frame.client_id, key_id=frame.op)
+                self.cluster.register_client(
+                    frame.client_id, key_id=frame.op, wire_version=negotiated
+                )
             except (ValueError, KeyError) as exc:
                 writer.write(
                     framing.encode_frame(
@@ -642,6 +694,16 @@ class AsyncFrontDoor:
                 )
                 return client_id
             self._writers[frame.client_id] = writer
+            if requested > 0:
+                writer.write(
+                    framing.encode_frame(
+                        framing.RESPONSE,
+                        frame.request_id,
+                        frame.client_id,
+                        op="hello",
+                        op_arg=negotiated,
+                    )
+                )
             return frame.client_id
         if client_id is None:
             writer.write(

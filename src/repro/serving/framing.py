@@ -38,8 +38,12 @@ ERROR = 3
 #: Connection preamble for the socket front-door: ``client_id`` names
 #: the session to open and the ``op`` field carries the tenant's
 #: ``key_id`` (whose key material must already be registered with the
-#: cluster).  In-process callers register sessions programmatically and
-#: never send one.
+#: cluster).  ``op_arg`` carries the highest *ciphertext wire-format*
+#: version the client speaks; 0 is the legacy form (v1 session, no
+#: acknowledgement), while a nonzero request is acknowledged with a
+#: RESPONSE frame (``op="hello"``) echoing the negotiated version in
+#: ``op_arg``.  In-process callers register sessions programmatically
+#: and never send one.
 HELLO = 4
 
 _KINDS = (REQUEST, RESPONSE, ERROR, HELLO)

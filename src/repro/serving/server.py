@@ -345,6 +345,18 @@ class EncryptedComputeServer:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _wire_bytes(
+        self, n: int, size: int, level_count: int, version: int
+    ) -> int:
+        """Ciphertext wire bytes at a session's negotiated version."""
+        return ciphertext_wire_bytes(
+            n,
+            size,
+            level_count,
+            version=version,
+            moduli=self.context.basis_at_level(level_count).moduli,
+        )
+
     def _apply_scalar(self, group: BatchGroup, ct: Ciphertext) -> Ciphertext:
         ev = self.evaluator
         # the key captured at admission -- identical for every lane
@@ -455,16 +467,28 @@ class EncryptedComputeServer:
                     # request's own op/op_arg rather than the lane's
                     op=request.op,
                     op_arg=request.op_arg,
-                    payload=serialize_ciphertext(result),
+                    # responses go out at the version this client
+                    # negotiated at HELLO time (v1 for legacy clients)
+                    payload=serialize_ciphertext(
+                        result, version=request.session.wire_version
+                    ),
                 )
             )
             self.report.latencies.append(now - request.enqueued_at)
+        # bill PCIe bytes at each request's negotiated wire version, so
+        # the modeled transfer equals what actually crossed the wire
         in_bytes = sum(
-            ciphertext_wire_bytes(r.ciphertext.n, r.ciphertext.size, r.ciphertext.level_count)
+            self._wire_bytes(
+                r.ciphertext.n,
+                r.ciphertext.size,
+                r.ciphertext.level_count,
+                r.session.wire_version,
+            )
             for r in requests
         )
         out_bytes = sum(
-            ciphertext_wire_bytes(r.n, r.size, r.level_count) for r in results
+            self._wire_bytes(c.n, c.size, c.level_count, r.session.wire_version)
+            for r, c in zip(requests, results)
         )
         self.report.flushes.append(
             FlushRecord(

@@ -27,7 +27,11 @@ from typing import Dict, List, Optional
 
 from repro.ckks.context import CkksContext
 from repro.ckks.keys import GaloisKey, GaloisKeySet, RelinKey
-from repro.ckks.serialization import deserialize_kswitch_key
+from repro.ckks.serialization import (
+    SUPPORTED_VERSIONS,
+    VERSION,
+    deserialize_kswitch_key,
+)
 from repro.serving.framing import FrameDecoder
 
 
@@ -68,11 +72,21 @@ class ClientSession:
         relin_key: Optional[RelinKey] = None,
         galois_keys: Optional[GaloisKeySet] = None,
         max_frame_bytes: Optional[int] = None,
+        wire_version: int = VERSION,
     ):
+        if wire_version not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported wire version {wire_version}; "
+                f"supported: {SUPPORTED_VERSIONS}"
+            )
         self.client_id = client_id
         self.key_id = key_id
         self.relin_key = relin_key
         self.galois_keys = galois_keys
+        #: Wire-format version negotiated for this client's *responses*.
+        #: Requests may arrive in any supported version (the header says
+        #: which); responses are serialized at the negotiated version.
+        self.wire_version = wire_version
         self.decoder = (
             FrameDecoder(max_frame_bytes)
             if max_frame_bytes is not None
@@ -116,6 +130,7 @@ class SessionManager:
         galois_keys: Optional[GaloisKeySet] = None,
         key_id: Optional[str] = None,
         max_frame_bytes: Optional[int] = None,
+        wire_version: int = VERSION,
     ) -> ClientSession:
         """Create a session; ``key_id`` defaults to the client's own id."""
         if client_id in self._sessions:
@@ -126,6 +141,7 @@ class SessionManager:
             relin_key,
             galois_keys,
             max_frame_bytes,
+            wire_version,
         )
         self._sessions[client_id] = session
         return session

@@ -17,6 +17,7 @@ serving layer exists to exploit.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.ckks.context import CkksContext
@@ -24,17 +25,36 @@ from repro.ckks.decryptor import Decryptor
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.encryptor import Encryptor
 from repro.ckks.keys import KeyGenerator
+from repro.ckks.serialization import VERSION
 from repro.serving import framing
 from repro.serving.server import EncryptedComputeServer
 
 
 class SyntheticTenant:
-    """One key set shared by a fleet of synthetic clients."""
+    """One key set shared by a fleet of synthetic clients.
 
-    def __init__(self, context: CkksContext, seed: int = 2020, key_id: str = "tenant-0"):
+    ``seed_expandable=True`` generates the tenant's keys with a
+    deterministic expansion seed (derived from ``seed``), so wire-format
+    v2 serializes them in the compact seed + ``b``-columns layout.
+    """
+
+    def __init__(
+        self,
+        context: CkksContext,
+        seed: int = 2020,
+        key_id: str = "tenant-0",
+        seed_expandable: bool = False,
+    ):
         self.context = context
         self.key_id = key_id
-        self.keygen = KeyGenerator(context, seed=seed)
+        expansion_seed = (
+            hashlib.sha256(b"synthetic-tenant-expansion:%d" % seed).digest()
+            if seed_expandable
+            else None
+        )
+        self.keygen = KeyGenerator(
+            context, seed=seed, expansion_seed=expansion_seed
+        )
         self.encoder = CkksEncoder(context)
         # all key material is drawn once, in a fixed order: every call
         # into the generator advances its sampler, so caching here keeps
@@ -55,21 +75,29 @@ class SyntheticTenant:
         values = self.encoder.decode(self.decryptor.decrypt(ct))
         return frame.request_id, list(values)
 
-    def register_with(self, cluster) -> None:
+    def register_with(self, cluster, wire_version: int = VERSION) -> None:
         """Register this tenant's key material with a serving cluster."""
         cluster.register_tenant(
             self.key_id,
             relin_key=self.relin_key,
             galois_keys=self.galois_keys,
+            wire_version=wire_version,
         )
 
 
 class SyntheticClient:
     """One client identity encrypting requests under its tenant's keys."""
 
-    def __init__(self, tenant: SyntheticTenant, client_id: str, seed: int):
+    def __init__(
+        self,
+        tenant: SyntheticTenant,
+        client_id: str,
+        seed: int,
+        wire_version: int = VERSION,
+    ):
         self.tenant = tenant
         self.client_id = client_id
+        self.wire_version = wire_version
         self.encryptor = Encryptor(tenant.context, tenant.public_key, seed=seed)
         self._next_request_id = 0
 
@@ -80,6 +108,7 @@ class SyntheticClient:
             relin_key=self.tenant.relin_key,
             galois_keys=self.tenant.galois_keys,
             key_id=self.tenant.key_id,
+            wire_version=self.wire_version,
         )
 
     def connect_cluster(self, cluster) -> str:
@@ -89,7 +118,9 @@ class SyntheticClient:
         :meth:`SyntheticTenant.register_with`); returns the worker id
         the session was placed on.
         """
-        return cluster.register_client(self.client_id, self.tenant.key_id)
+        return cluster.register_client(
+            self.client_id, self.tenant.key_id, wire_version=self.wire_version
+        )
 
     def request_bytes(
         self, op: str, values: Sequence[float], op_arg: int = 0
@@ -106,7 +137,7 @@ class SyntheticClient:
             self.client_id,
             op=op,
             op_arg=op_arg,
-            payload=serialize_ciphertext(ct),
+            payload=serialize_ciphertext(ct, version=self.wire_version),
         )
 
     def rotation_sweep_bytes(
@@ -122,7 +153,8 @@ class SyntheticClient:
         from repro.ckks.serialization import serialize_ciphertext
 
         payload = serialize_ciphertext(
-            self.encryptor.encrypt(self.tenant.encoder.encode(list(values)))
+            self.encryptor.encrypt(self.tenant.encoder.encode(list(values))),
+            version=self.wire_version,
         )
         frames = []
         for step in steps:
@@ -149,6 +181,7 @@ def synthetic_traffic(
     op_arg: int = 0,
     seed: int = 7,
     ops: Optional[Sequence[Tuple[str, int]]] = None,
+    wire_version: int = VERSION,
 ) -> Tuple[List[SyntheticClient], Iterator[Tuple[str, bytes]]]:
     """Build a client fleet and a deterministic request stream.
 
@@ -160,7 +193,9 @@ def synthetic_traffic(
     the batcher's lane separation.
     """
     clients = [
-        SyntheticClient(tenant, f"client-{i}", seed=seed + i)
+        SyntheticClient(
+            tenant, f"client-{i}", seed=seed + i, wire_version=wire_version
+        )
         for i in range(client_count)
     ]
     op_cycle = list(ops) if ops else [(op, op_arg)]
@@ -187,6 +222,8 @@ def multi_tenant_traffic(
     requests_per_client: int,
     seed: int = 2020,
     ops: Optional[Sequence[Tuple[str, int]]] = None,
+    wire_version: int = VERSION,
+    seed_expandable: bool = False,
 ) -> Tuple[List[SyntheticTenant], List[SyntheticClient], List[Tuple[str, bytes]]]:
     """Deterministic traffic across several tenants (the cluster workload).
 
@@ -204,11 +241,21 @@ def multi_tenant_traffic(
     trace can be replayed against several serving configurations).
     """
     tenants = [
-        SyntheticTenant(context, seed=seed + 101 * t, key_id=f"tenant-{t}")
+        SyntheticTenant(
+            context,
+            seed=seed + 101 * t,
+            key_id=f"tenant-{t}",
+            seed_expandable=seed_expandable,
+        )
         for t in range(tenant_count)
     ]
     clients = [
-        SyntheticClient(tenant, f"{tenant.key_id}-client-{c}", seed=seed + 13 * (t * clients_per_tenant + c))
+        SyntheticClient(
+            tenant,
+            f"{tenant.key_id}-client-{c}",
+            seed=seed + 13 * (t * clients_per_tenant + c),
+            wire_version=wire_version,
+        )
         for t, tenant in enumerate(tenants)
         for c in range(clients_per_tenant)
     ]

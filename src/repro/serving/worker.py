@@ -108,12 +108,15 @@ class ClusterWorker:
         key_id: str,
         relin_blob: Optional[bytes] = None,
         galois_blobs: Optional[Dict[int, bytes]] = None,
+        wire_version: int = 1,
     ) -> None:
         """Open (or refresh, after a migration round-trip) one session.
 
         Key blobs are only needed the first time a ``key_id`` reaches
         this worker; later sessions of the same tenant reuse the cached
         objects -- and *must*, so their keyed requests share lanes.
+        ``wire_version`` is the version this client's responses are
+        serialized at (key blobs self-describe their own version).
         """
         keys = self._tenant_keys.get(key_id)
         if keys is None:
@@ -134,9 +137,14 @@ class ClusterWorker:
             session = self.server.sessions.get(client_id)
             session.relin_key = relin
             session.galois_keys = galois
+            session.wire_version = wire_version
         else:
             self.server.register_client(
-                client_id, relin_key=relin, galois_keys=galois, key_id=key_id
+                client_id,
+                relin_key=relin,
+                galois_keys=galois,
+                key_id=key_id,
+                wire_version=wire_version,
             )
 
     # ------------------------------------------------------------------
@@ -193,7 +201,9 @@ class WorkerHandle:
     def alive(self) -> bool:
         raise NotImplementedError
 
-    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
+    def register_session(
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+    ):
         raise NotImplementedError
 
     def feed(self, client_id: str, data: bytes) -> None:
@@ -254,8 +264,12 @@ class LocalWorkerHandle(WorkerHandle):
             raise WorkerDeadError(f"worker {self.worker_id!r} is dead")
         return self._core
 
-    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
-        self.core.register_session(client_id, key_id, relin_blob, galois_blobs)
+    def register_session(
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+    ):
+        self.core.register_session(
+            client_id, key_id, relin_blob, galois_blobs, wire_version
+        )
 
     def feed(self, client_id: str, data: bytes) -> None:
         self.core.feed(client_id, data)
@@ -394,8 +408,12 @@ class ProcessWorkerHandle(WorkerHandle):
         self._require_alive()
         self._conn.send(msg)
 
-    def register_session(self, client_id, key_id, relin_blob, galois_blobs):
-        self._send(("register", client_id, key_id, relin_blob, galois_blobs))
+    def register_session(
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+    ):
+        self._send(
+            ("register", client_id, key_id, relin_blob, galois_blobs, wire_version)
+        )
 
     def feed(self, client_id: str, data: bytes) -> None:
         self._send(("frames", client_id, data))

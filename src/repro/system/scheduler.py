@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.system.pcie import PcieModel, polynomial_bytes
+from repro.system.pcie import PcieModel, polynomial_bytes, polynomial_packed_bytes
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,7 @@ class ScheduledOp:
         input_polys: int,
         output_polys: int,
         compute_seconds: float,
+        word_bits: int = 64,
     ) -> "ScheduledOp":
         """A batched operation moving whole residue polynomials.
 
@@ -53,11 +54,18 @@ class ScheduledOp:
         ``compute_seconds`` is typically *measured* from a real
         :class:`repro.ckks.batch.BatchEvaluator` execution (see
         :class:`repro.system.workload.BatchWorkloadRunner`).
+        ``word_bits`` sets the per-residue transfer width: 64 is the v1
+        whole-word wire format; a smaller width models wire-format-v2
+        traffic bit-packed to the modulus width.
         """
+        if word_bits == 64:
+            poly = polynomial_bytes(n)
+        else:
+            poly = polynomial_packed_bytes(n, word_bits)
         return cls(
             kind,
-            input_polys * polynomial_bytes(n),
-            output_polys * polynomial_bytes(n),
+            input_polys * poly,
+            output_polys * poly,
             compute_seconds,
         )
 

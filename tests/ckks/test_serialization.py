@@ -311,3 +311,260 @@ class TestScaleMetadataRejected:
         # keys carry no scale; their header legitimately writes 0.0
         blob = serialize_kswitch_key(relin_key)
         assert deserialize_kswitch_key(blob, toy_context).digit_count == relin_key.digit_count
+
+
+# ----------------------------------------------------------------------
+# wire format v2 and header-field hardening
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def seeded_keygen(toy_context):
+    from repro.ckks.keys import KeyGenerator
+
+    return KeyGenerator(toy_context, seed=424242, expansion_seed=b"\x11" * 32)
+
+
+@pytest.fixture(scope="module")
+def seeded_relin_key(seeded_keygen):
+    return seeded_keygen.relin_key()
+
+
+class TestHeaderFieldBounds:
+    """The serializers must reject shapes the fixed header cannot hold.
+
+    Regression for the ``level_count | 0x8000`` hazard: ``level_count``
+    shares its u16 with the NTT flag, so 0x8000 levels would silently
+    set (or a packed flag would corrupt) the flag bit; ``comps`` and
+    ``n`` would wrap through struct packing.
+    """
+
+    @staticmethod
+    def _fake_ct(n=64, size=2, level_count=3):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(n=n, size=size, level_count=level_count)
+
+    def test_level_count_colliding_with_ntt_flag_rejected(self):
+        with pytest.raises(ValueError, match="NTT"):
+            serialize_ciphertext(self._fake_ct(level_count=0x8000))
+
+    def test_component_count_overflow_rejected(self):
+        with pytest.raises(ValueError, match="component count"):
+            serialize_ciphertext(self._fake_ct(size=0x10000))
+
+    def test_ring_degree_overflow_rejected(self):
+        with pytest.raises(ValueError, match="ring degree"):
+            serialize_ciphertext(self._fake_ct(n=0x100000000))
+
+    def test_nonpositive_fields_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_ciphertext(self._fake_ct(n=0))
+        with pytest.raises(ValueError):
+            serialize_ciphertext(self._fake_ct(size=0))
+        with pytest.raises(ValueError):
+            serialize_ciphertext(self._fake_ct(level_count=0))
+
+    def test_plaintext_level_bound_enforced(self):
+        from types import SimpleNamespace
+
+        fake = SimpleNamespace(n=64, level_count=0x8000, scale=1.0)
+        with pytest.raises(ValueError, match="NTT"):
+            serialize_plaintext(fake)
+
+    def test_kswitch_key_digit_bound_enforced(self):
+        from types import SimpleNamespace
+
+        d0 = SimpleNamespace(n=64, level_count=4)
+        fake = SimpleNamespace(
+            digit_count=0x10000, digit=lambda i: (d0, None)
+        )
+        with pytest.raises(ValueError, match="component count"):
+            serialize_kswitch_key(fake)
+
+    def test_kswitch_key_level_bound_enforced(self):
+        from types import SimpleNamespace
+
+        d0 = SimpleNamespace(n=64, level_count=0x8000)
+        fake = SimpleNamespace(digit_count=3, digit=lambda i: (d0, None))
+        with pytest.raises(ValueError, match="NTT"):
+            serialize_kswitch_key(fake)
+
+
+class TestKskNttFlagEnforced:
+    """Regression: the deserializer used to discard the header's NTT
+    flag and hardcode ``is_ntt=True``.  A blob whose flag contradicts
+    the kswitch invariant (keys are NTT-form by construction) must be
+    rejected, not silently reinterpreted."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_cleared_ntt_flag_rejected(self, toy_context, relin_key, version):
+        blob = bytearray(serialize_kswitch_key(relin_key, version=version))
+        # rns_flags u16 lives at offset 12; bit 15 is the NTT flag
+        blob[13] &= 0x7F
+        with pytest.raises(ValueError, match="coefficient form"):
+            deserialize_kswitch_key(bytes(blob), toy_context)
+
+    def test_valid_flag_still_accepted(self, toy_context, relin_key):
+        blob = serialize_kswitch_key(relin_key)
+        assert (blob[13] & 0x80) != 0  # the flag is actually set on the wire
+        back = deserialize_kswitch_key(blob, toy_context)
+        b0, a0 = back.digit(0)
+        assert b0.is_ntt and a0.is_ntt
+
+
+class TestSizeAccountingBothVersions:
+    """``len(serialize_*(obj, v)) == HEADER_BYTES + *_wire_bytes(...)``
+    must hold for every kind in both versions -- the scheduler's PCIe
+    model bills these formulas as actual bytes."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_ciphertext(self, toy_context, encoder, encryptor, version):
+        ct = encryptor.encrypt(encoder.encode([1.0, -2.5]))
+        moduli = toy_context.basis_at_level(ct.level_count).moduli
+        blob = serialize_ciphertext(ct, version=version)
+        assert len(blob) == HEADER_BYTES + ciphertext_wire_bytes(
+            ct.n, ct.size, ct.level_count, version=version, moduli=moduli
+        )
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_rescaled_ciphertext(
+        self, toy_context, encoder, encryptor, evaluator, version
+    ):
+        ct = evaluator.rescale(
+            evaluator.multiply(*[encryptor.encrypt(encoder.encode([1.5]))] * 2)
+        )
+        moduli = toy_context.basis_at_level(ct.level_count).moduli
+        blob = serialize_ciphertext(ct, version=version)
+        assert len(blob) == HEADER_BYTES + ciphertext_wire_bytes(
+            ct.n, ct.size, ct.level_count, version=version, moduli=moduli
+        )
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_plaintext(self, toy_context, encoder, version):
+        from repro.ckks.serialization import plaintext_wire_bytes
+
+        pt = encoder.encode([0.5, 2.0])
+        moduli = toy_context.basis_at_level(pt.level_count).moduli
+        blob = serialize_plaintext(pt, version=version)
+        assert len(blob) == HEADER_BYTES + plaintext_wire_bytes(
+            pt.n, pt.level_count, version=version, moduli=moduli
+        )
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_kswitch_key_full(self, toy_context, relin_key, version):
+        moduli = toy_context.key_basis.moduli
+        blob = serialize_kswitch_key(relin_key, version=version)
+        assert len(blob) == HEADER_BYTES + kswitch_key_wire_bytes(
+            toy_context.n, toy_context.k, version=version, moduli=moduli
+        )
+
+    def test_kswitch_key_seeded(self, toy_context, seeded_relin_key):
+        moduli = toy_context.key_basis.moduli
+        blob = serialize_kswitch_key(seeded_relin_key, version=2)
+        assert len(blob) == HEADER_BYTES + kswitch_key_wire_bytes(
+            toy_context.n, toy_context.k, version=2, moduli=moduli,
+            seeded=True,
+        )
+
+    def test_v1_cannot_claim_seeded(self, toy_context):
+        with pytest.raises(ValueError, match="seed"):
+            kswitch_key_wire_bytes(64, 3, version=1, seeded=True)
+
+    def test_v2_requires_moduli(self):
+        with pytest.raises(ValueError, match="moduli"):
+            ciphertext_wire_bytes(64, 2, 3, version=2)
+
+
+class TestV2RoundTrip:
+    """v2 blobs round-trip bit-exactly, shrink the wire, and decode to
+    the same polynomials v1 carries."""
+
+    def test_ciphertext_v2_roundtrip_and_matches_v1(
+        self, toy_context, encoder, encryptor
+    ):
+        ct = encryptor.encrypt(encoder.encode([1.25, -3.0]))
+        v1 = serialize_ciphertext(ct, version=1)
+        v2 = serialize_ciphertext(ct, version=2)
+        assert len(v2) < len(v1)
+        back = deserialize_ciphertext(v2, toy_context)
+        assert serialize_ciphertext(back, version=2) == v2
+        for p, q in zip(ct.polys, back.polys):
+            assert p == q
+        # and the v2 decode re-serializes to the identical v1 bytes
+        assert serialize_ciphertext(back, version=1) == v1
+
+    def test_plaintext_v2_roundtrip(self, toy_context, encoder):
+        for pt in (encoder.encode([0.75]), encoder.encode([1.0], to_ntt=False)):
+            v2 = serialize_plaintext(pt, version=2)
+            back = deserialize_plaintext(v2, toy_context)
+            assert serialize_plaintext(back, version=2) == v2
+            assert back.poly == pt.poly
+
+    def test_ksk_v2_full_roundtrip(self, toy_context, relin_key):
+        v2 = serialize_kswitch_key(relin_key, version=2)
+        back = deserialize_kswitch_key(v2, toy_context)
+        assert serialize_kswitch_key(back, version=2) == v2
+        for i in range(back.digit_count):
+            assert back.digit(i) == relin_key.digit(i)
+
+    def test_ksk_v2_seeded_roundtrip(self, toy_context, seeded_relin_key):
+        v2 = serialize_kswitch_key(seeded_relin_key, version=2)
+        back = deserialize_kswitch_key(v2, toy_context)
+        # the decoded key keeps its seed, so re-serialization round-trips
+        assert back.seed == seeded_relin_key.seed
+        assert serialize_kswitch_key(back, version=2) == v2
+        for i in range(back.digit_count):
+            assert back.digit(i) == seeded_relin_key.digit(i)
+
+    def test_seeded_key_halves_the_blob(self, toy_context, seeded_relin_key):
+        full = serialize_kswitch_key(seeded_relin_key, version=1)
+        seeded = serialize_kswitch_key(seeded_relin_key, version=2)
+        assert len(seeded) < len(full) / 2
+
+    def test_deserialized_seeded_key_still_relinearizes(
+        self, toy_context, encoder, seeded_keygen, seeded_relin_key, evaluator
+    ):
+        from repro.ckks.decryptor import Decryptor
+        from repro.ckks.encryptor import Encryptor
+
+        back = deserialize_kswitch_key(
+            serialize_kswitch_key(seeded_relin_key, version=2), toy_context
+        )
+        enc = Encryptor(toy_context, seeded_keygen.public_key(), seed=5)
+        dec = Decryptor(toy_context, seeded_keygen.secret_key)
+        vals = np.array([0.5, 2.0])
+        a = enc.encrypt(encoder.encode(vals))
+        prod = evaluator.relinearize(evaluator.multiply(a, a), back)
+        out = encoder.decode(dec.decrypt(prod)).real[:2]
+        assert np.allclose(out, vals**2, atol=1e-2)
+
+    def test_v2_truncation_at_bit_row_boundaries_raises(
+        self, toy_context, encoder, encryptor
+    ):
+        blob = serialize_ciphertext(
+            encryptor.encrypt(encoder.encode([2.0])), version=2
+        )
+        for cut in range(HEADER_BYTES, len(blob), 7):
+            with pytest.raises(ValueError, match="truncated"):
+                deserialize_ciphertext(blob[:cut], toy_context)
+
+    def test_v2_trailing_bytes_raise(self, toy_context, encoder, encryptor):
+        blob = serialize_ciphertext(
+            encryptor.encrypt(encoder.encode([2.0])), version=2
+        )
+        with pytest.raises(ValueError, match="trailing"):
+            deserialize_ciphertext(blob + b"\x00", toy_context)
+
+    def test_unknown_ksk_layout_byte_rejected(self, toy_context, relin_key):
+        blob = bytearray(serialize_kswitch_key(relin_key, version=2))
+        blob[HEADER_BYTES] = 7
+        with pytest.raises(ValueError, match="layout"):
+            deserialize_kswitch_key(bytes(blob), toy_context)
+
+    def test_unsupported_version_rejected(self, toy_context, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([1.0]))
+        with pytest.raises(ValueError, match="version"):
+            serialize_ciphertext(ct, version=3)
+        blob = bytearray(serialize_ciphertext(ct))
+        blob[4] = 9  # header version byte
+        with pytest.raises(ValueError, match="version"):
+            deserialize_ciphertext(bytes(blob), toy_context)
