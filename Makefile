@@ -3,6 +3,7 @@
 #   make test           tier-1 verification suite
 #   make test-fast      tier-1 minus slow-marked paper-scale tests
 #   make test-both      tier-1 on both polynomial backends
+#   make lint           static invariant analysis (repro.lint) over src/
 #   make bench          every paper table/figure benchmark (writes benchmarks/results/)
 #   make bench-backend  polynomial-backend speedup gate (numpy vs reference)
 #   make bench-batch    batched ciphertext throughput gate (batch-8 vs batch-1)
@@ -18,10 +19,13 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire vectors
+.PHONY: test test-fast test-both lint bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src --json benchmarks/results/LINT_report.json
 
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"

@@ -204,6 +204,13 @@ class CountingBackend(PolynomialBackend):
     def decompose_native(self, moduli, coeffs):
         return self.inner.decompose_native(moduli, coeffs)
 
+    def decompose(self, moduli, coeffs):
+        # delegated whole, not inherited: the base default re-expresses
+        # decomposition through self.reduce_mod, which would bypass an
+        # inner backend's fused decompose and double-charge the
+        # per-modulus boundary notes against the wrapper
+        return self.inner.decompose(moduli, coeffs)
+
     def pack_rows(self, handle):
         return self.inner.pack_rows(handle)
 

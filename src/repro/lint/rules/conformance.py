@@ -1,0 +1,219 @@
+"""R2 -- backend kernel-surface conformance.
+
+PR 1 split the scheme from its compute kernels behind
+:class:`~repro.ckks.backend.base.PolynomialBackend`; PR 4/5 grew that
+surface (stacked kernels, resident-matrix handles) and made
+:class:`~repro.ckks.backend.counting.CountingBackend` the instrument
+every transform-count and residency assertion trusts.  That trust has
+a structural precondition: **the counting wrapper must wrap every
+public kernel**.  A kernel the wrapper does not define falls through
+to the base-class default, which re-expresses the operation through
+*other* self-methods -- bypassing the inner backend's optimized
+override and mis-attributing (or dropping) the counts.  Exactly this
+happened: ``decompose`` was never wrapped, so RNS decomposition
+escaped conversion/transform accounting for five PRs.
+
+This is a *project* rule -- it introspects the class ASTs of the base
+interface and every implementation module together:
+
+* ``CountingBackend`` must explicitly define every public kernel of
+  ``PolynomialBackend`` (wrap-all mode: inheritance is the bug);
+* every override in ``ReferenceBackend`` / ``NumpyBackend`` /
+  ``CountingBackend`` must keep the base kernel's exact parameter
+  names and shape (a drifted signature breaks backend
+  interchangeability one keyword-call at a time);
+* a public instance method on an implementation that names no base
+  kernel is flagged: either it belongs on the interface or it is a
+  typo'd override that silently never dispatches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.core import Finding, Rule, SourceModule
+
+#: Where the interface and its implementations live (dotted, class).
+BASE_MODULE = "repro.ckks.backend.base"
+BASE_CLASS = "PolynomialBackend"
+
+#: mode "wrap": must define every kernel; mode "override": may inherit.
+IMPLEMENTATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("repro.ckks.backend.reference", "ReferenceBackend", "override"),
+    ("repro.ckks.backend.numpy_backend", "NumpyBackend", "override"),
+    ("repro.ckks.backend.counting", "CountingBackend", "wrap"),
+)
+
+#: Public helper methods implementations may add beyond the interface.
+ALLOWED_EXTRA_METHODS = frozenset({"reset", "supports"})
+
+
+def _decorator_names(node: ast.FunctionDef) -> List[str]:
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.append(target.attr)
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+@dataclass(frozen=True)
+class _MethodSig:
+    """Comparable shape of one method: names and kinds of parameters."""
+
+    args: Tuple[str, ...]     #: positional parameter names (minus self)
+    vararg: Optional[str]
+    kwonly: Tuple[str, ...]
+    kwarg: Optional[str]
+
+    def describe(self) -> str:
+        parts = list(self.args)
+        if self.vararg:
+            parts.append("*" + self.vararg)
+        elif self.kwonly:
+            parts.append("*")
+        parts.extend(self.kwonly)
+        if self.kwarg:
+            parts.append("**" + self.kwarg)
+        return "(" + ", ".join(parts) + ")"
+
+
+def _signature_of(node: ast.FunctionDef, drop_self: bool) -> _MethodSig:
+    a = node.args
+    positional = [arg.arg for arg in a.posonlyargs + a.args]
+    if drop_self and positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    return _MethodSig(
+        args=tuple(positional),
+        vararg=a.vararg.arg if a.vararg else None,
+        kwonly=tuple(arg.arg for arg in a.kwonlyargs),
+        kwarg=a.kwarg.arg if a.kwarg else None,
+    )
+
+
+def _class_def(module: SourceModule, class_name: str) -> Optional[ast.ClassDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return node
+    return None
+
+
+def _public_instance_methods(
+    cls: ast.ClassDef,
+) -> Dict[str, ast.FunctionDef]:
+    """Public instance methods of a class AST (no properties, no
+    static/class methods, no dunders/privates)."""
+    out: Dict[str, ast.FunctionDef] = {}
+    for node in cls.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        decorators = _decorator_names(node)
+        if {"property", "setter", "staticmethod", "classmethod"} & set(decorators):
+            continue
+        out[node.name] = node
+    return out
+
+
+class BackendConformanceRule(Rule):
+    """Every backend implements the full, signature-exact kernel surface."""
+
+    id = "R2"
+    title = "PolynomialBackend kernel-surface conformance"
+    invariant_origin = "PR 1 (backend layer) / PR 4 (CountingBackend assertions)"
+
+    def __init__(
+        self,
+        base_module: str = BASE_MODULE,
+        base_class: str = BASE_CLASS,
+        implementations: Tuple[Tuple[str, str, str], ...] = IMPLEMENTATIONS,
+    ):
+        self.base_module = base_module
+        self.base_class = base_class
+        self.implementations = implementations
+
+    def check_project(
+        self, modules: Dict[str, SourceModule]
+    ) -> Iterable[Finding]:
+        base_mod = modules.get(self.base_module)
+        if base_mod is None:
+            return ()  # partial run without the interface: nothing to hold
+        base_cls = _class_def(base_mod, self.base_class)
+        if base_cls is None:
+            return (
+                self.finding(
+                    base_mod,
+                    base_mod.tree,
+                    "<module>",
+                    f"interface class {self.base_class} not found in "
+                    f"{self.base_module}",
+                ),
+            )
+        kernels = _public_instance_methods(base_cls)
+        findings: List[Finding] = []
+        for impl_module, impl_class, mode in self.implementations:
+            impl_mod = modules.get(impl_module)
+            if impl_mod is None:
+                continue
+            impl_cls = _class_def(impl_mod, impl_class)
+            if impl_cls is None:
+                findings.append(
+                    self.finding(
+                        impl_mod,
+                        impl_mod.tree,
+                        "<module>",
+                        f"implementation class {impl_class} not found in "
+                        f"{impl_module}",
+                    )
+                )
+                continue
+            methods = _public_instance_methods(impl_cls)
+            if mode == "wrap":
+                for name in sorted(set(kernels) - set(methods)):
+                    findings.append(
+                        self.finding(
+                            impl_mod,
+                            impl_cls,
+                            f"{impl_class}.{name}",
+                            f"{impl_class} does not wrap kernel {name!r}; "
+                            "the inherited default re-expresses it through "
+                            "other self-methods, bypassing the inner "
+                            "backend's override and corrupting the "
+                            "instrumentation counts",
+                        )
+                    )
+            for name, node in sorted(methods.items()):
+                if name in kernels:
+                    base_sig = _signature_of(kernels[name], drop_self=True)
+                    impl_sig = _signature_of(node, drop_self=True)
+                    if base_sig != impl_sig:
+                        findings.append(
+                            self.finding(
+                                impl_mod,
+                                node,
+                                f"{impl_class}.{name}",
+                                f"signature drift on kernel {name!r}: "
+                                f"{impl_class} has {impl_sig.describe()}, "
+                                f"{self.base_class} declares "
+                                f"{base_sig.describe()}; keyword call sites "
+                                "stop being backend-interchangeable",
+                            )
+                        )
+                elif name not in ALLOWED_EXTRA_METHODS:
+                    findings.append(
+                        self.finding(
+                            impl_mod,
+                            node,
+                            f"{impl_class}.{name}",
+                            f"public method {name!r} names no "
+                            f"{self.base_class} kernel: promote it to the "
+                            "interface, prefix it as private, or fix the "
+                            "typo'd override that silently never dispatches",
+                        )
+                    )
+        return findings

@@ -42,7 +42,7 @@ from repro.serving.batcher import (
     SUPPORTED_OPS,
     homogeneity_key,
 )
-from repro.serving.clock import ManualClock
+from repro.serving.clock import SYSTEM_CLOCK, Clock, ManualClock
 from repro.serving.cluster import (
     AsyncFrontDoor,
     ClusterReport,
@@ -95,6 +95,7 @@ __all__ = [
     "BackpressureError",
     "BatchGroup",
     "ClientSession",
+    "Clock",
     "ClusterReport",
     "ClusterWorker",
     "DynamicBatcher",
@@ -115,6 +116,7 @@ __all__ = [
     "REQUEST",
     "RESPONSE",
     "RequestQueue",
+    "SYSTEM_CLOCK",
     "ServingCluster",
     "ServingReport",
     "SessionManager",

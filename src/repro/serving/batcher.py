@@ -42,10 +42,10 @@ cannot retroactively change what those requests execute under.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.serving.clock import SYSTEM_CLOCK, Clock
 from repro.serving.queue import PendingRequest
 
 #: op name -> key material the op consumes (None for keyless ops).
@@ -140,7 +140,7 @@ class DynamicBatcher:
         max_batch_size: int = 8,
         max_delay_seconds: float = 2e-3,
         hoist_rotations: bool = True,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")

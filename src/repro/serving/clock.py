@@ -1,15 +1,33 @@
 """Deterministic time sources for the serving layer.
 
 Every deadline in the serving stack -- batch-lane flushes, drain
-decisions, latency accounting -- reads an injectable ``clock``
-callable rather than wall time directly.  :class:`ManualClock` is the
-hand-cranked implementation the fault-injection and differential test
-layers (and the scale benchmark's deterministic mode) install: the test
-owns time, so "a lane straddling its deadline during a drain" is a
-reproducible state, not a race.
+decisions, pipe-transport poll/drain timeouts, latency accounting --
+reads an injectable ``clock`` callable rather than wall time directly.
+:class:`ManualClock` is the hand-cranked implementation the
+fault-injection and differential test layers (and the scale benchmark's
+deterministic mode) install: the test owns time, so "a lane straddling
+its deadline during a drain" is a reproducible state, not a race.
+
+This module is the **single whitelisted wall-clock site** in
+``repro.serving``: :data:`SYSTEM_CLOCK` is the production default every
+``clock=`` parameter points at, and the static analyzer
+(:mod:`repro.lint`, rule R3) bans any other ``time.time`` /
+``time.monotonic`` use in the package -- one raw call site would
+re-open the wall-clock hole for every manual-clock test above it.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The shape of every injectable time source: a nullary monotonic read.
+Clock = Callable[[], float]
+
+#: The production time source (monotonic wall clock).  Use this as the
+#: default for ``clock=`` parameters instead of naming ``time.monotonic``
+#: directly, so the lint rule can pin all wall-clock access to this file.
+SYSTEM_CLOCK: Clock = time.monotonic
 
 
 class ManualClock:

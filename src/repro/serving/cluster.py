@@ -41,7 +41,6 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -53,6 +52,7 @@ from repro.ckks.serialization import (
     serialize_kswitch_key,
 )
 from repro.serving import framing
+from repro.serving.clock import SYSTEM_CLOCK, Clock
 from repro.serving.framing import Frame, FrameDecoder, StreamProtocolError
 from repro.serving.session import UnknownClientError
 from repro.serving.worker import WorkerDeadError, WorkerHandle, WorkerStats
@@ -158,7 +158,7 @@ class ServingCluster:
         worker_count: int = 4,
         max_inflight: int = 4096,
         vnodes: int = 64,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SYSTEM_CLOCK,
         worker_ids: Optional[List[str]] = None,
     ):
         if worker_count < 1 and not worker_ids:
@@ -648,11 +648,18 @@ class AsyncFrontDoor:
         writer: asyncio.StreamWriter,
         timeout: float = 10.0,
     ) -> None:
-        """Pump until a closing connection's in-flight requests answer."""
-        deadline = time.monotonic() + timeout
+        """Pump until a closing connection's in-flight requests answer.
+
+        The deadline reads the *cluster's* clock: with a manual clock
+        installed, a test can make "the settle window expired with a
+        request still in flight" a reproducible state instead of a
+        ten-second wall-clock wait.
+        """
+        clock = self.cluster.clock
+        deadline = clock() + timeout
         while (
             self.cluster.client_inflight(client_id)
-            and time.monotonic() < deadline
+            and clock() < deadline
         ):
             self.cluster.pump()
             await self._flush_outboxes()

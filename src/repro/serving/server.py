@@ -24,9 +24,9 @@ system, execute the math.
 from __future__ import annotations
 
 import hashlib
-import time
+import time  # perf_counter only: measures flush cost, never deadlines
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.ckks.batch import BatchEvaluator, CiphertextBatch
 from repro.ckks.context import CkksContext
@@ -45,6 +45,7 @@ from repro.serving.batcher import (
     DynamicBatcher,
 )
 from repro.serving.framing import Frame
+from repro.serving.clock import SYSTEM_CLOCK, Clock
 from repro.serving.queue import BackpressureError, PendingRequest, RequestQueue
 from repro.serving.session import ClientSession, SessionManager
 from repro.system.scheduler import HostScheduler, ScheduledOp, ScheduleReport
@@ -117,9 +118,9 @@ class ServingReport:
 class EncryptedComputeServer:
     """Multi-client encrypted-compute service with dynamic batching.
 
-    ``clock`` is injectable (default ``time.monotonic``) so deadline
-    behavior is testable deterministically; ``pump`` may also be handed
-    an explicit ``now``.
+    ``clock`` is injectable (default :data:`repro.serving.clock.SYSTEM_CLOCK`)
+    so deadline behavior is testable deterministically; ``pump`` may
+    also be handed an explicit ``now``.
     """
 
     def __init__(
@@ -129,7 +130,7 @@ class EncryptedComputeServer:
         max_delay_seconds: float = 2e-3,
         max_pending: int = 1024,
         max_frame_bytes: Optional[int] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.context = context
         self.clock = clock

@@ -31,11 +31,11 @@ their keyed requests share batch lanes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ckks.context import CkksContext, CkksParameters
+from repro.serving.clock import SYSTEM_CLOCK, Clock
 from repro.serving.server import EncryptedComputeServer
 from repro.serving.session import galois_keys_from_wire, relin_key_from_wire
 
@@ -85,7 +85,7 @@ class WorkerStats:
 class ClusterWorker:
     """The transport-agnostic worker core (runs wherever its handle says)."""
 
-    def __init__(self, spec: WorkerSpec, clock: Callable[[], float] = time.monotonic):
+    def __init__(self, spec: WorkerSpec, clock: Clock = SYSTEM_CLOCK):
         self.spec = spec
         self.context = CkksContext(spec.params, backend=spec.backend)
         self.server = EncryptedComputeServer(
@@ -247,7 +247,7 @@ class LocalWorkerHandle(WorkerHandle):
         self,
         worker_id: str,
         spec: WorkerSpec,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.worker_id = worker_id
         self.spec = spec
@@ -373,11 +373,21 @@ class ProcessWorkerHandle(WorkerHandle):
     #: worker wedged (generous: a drain flushes every open lane).
     DRAIN_TIMEOUT_SECONDS = 60.0
 
-    def __init__(self, worker_id: str, spec: WorkerSpec, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        worker_id: str,
+        spec: WorkerSpec,
+        start_method: Optional[str] = None,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
         import multiprocessing as mp
 
         self.worker_id = worker_id
         self.spec = spec
+        #: deadline source for the pipe-transport wait loops below; a
+        #: test installs a ManualClock here to exercise poll/drain/stats
+        #: timeouts without real 60-second waits
+        self._clock = clock
         if start_method is None:
             # fork (where available) inherits loaded modules -- startup in
             # milliseconds instead of a fresh interpreter + numpy import
@@ -448,8 +458,8 @@ class ProcessWorkerHandle(WorkerHandle):
         except (BrokenPipeError, OSError):
             out, self._response_buffer = self._response_buffer, {}
             return out
-        deadline = time.monotonic() + self.POLL_TIMEOUT_SECONDS
-        while time.monotonic() < deadline:
+        deadline = self._clock() + self.POLL_TIMEOUT_SECONDS
+        while self._clock() < deadline:
             if not self._conn.poll(0.005):
                 if not self.alive:
                     break
@@ -469,8 +479,8 @@ class ProcessWorkerHandle(WorkerHandle):
     def drain(self, now: Optional[float] = None) -> int:
         """Flush everything; blocks until the worker acknowledges."""
         self._send(("drain",))
-        deadline = time.monotonic() + self.DRAIN_TIMEOUT_SECONDS
-        while time.monotonic() < deadline:
+        deadline = self._clock() + self.DRAIN_TIMEOUT_SECONDS
+        while self._clock() < deadline:
             if not self._conn.poll(0.05):
                 self._require_alive()
                 continue
@@ -506,10 +516,14 @@ class ProcessWorkerHandle(WorkerHandle):
             self._proc.kill()
             self._proc.join(timeout=5.0)
 
+    #: how long to wait for a stats reply (shorter than drain: answering
+    #: stats never executes pending work).
+    STATS_TIMEOUT_SECONDS = 30.0
+
     def stats(self) -> WorkerStats:
         self._send(("stats",))
-        deadline = time.monotonic() + 30.0
-        while time.monotonic() < deadline:
+        deadline = self._clock() + self.STATS_TIMEOUT_SECONDS
+        while self._clock() < deadline:
             if not self._conn.poll(0.05):
                 self._require_alive()
                 continue

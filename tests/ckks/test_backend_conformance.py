@@ -1,0 +1,90 @@
+"""Runtime mirror of the static R2 backend-conformance invariant.
+
+``CountingBackend`` delegates, it does not inherit: any public kernel
+of :class:`PolynomialBackend` it fails to define explicitly falls back
+to a base-class default that re-expresses the operation through *other*
+``self`` methods -- silently bypassing the inner backend's fused kernel
+and mis-charging the operation count (the exact bug ``decompose``
+had).  ``repro.lint``'s R2 rule catches this at the AST level; this
+test catches it at runtime, so the invariant holds even for code the
+linter cannot see (e.g. dynamically added methods).
+"""
+
+import inspect
+
+from repro.ckks.backend.base import PolynomialBackend
+from repro.ckks.backend.counting import CountingBackend
+from repro.ckks.backend.numpy_backend import NumpyBackend
+from repro.ckks.backend.reference import ReferenceBackend
+
+
+def _public_kernels(cls):
+    """Public instance-method names declared anywhere on ``cls``."""
+    names = set()
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if isinstance(inspect.getattr_static(cls, name), (property, staticmethod, classmethod)):
+            continue
+        if inspect.isfunction(member):
+            names.add(name)
+    return names
+
+
+def _own_methods(cls):
+    """Public instance methods ``cls`` defines in its *own* body."""
+    return {
+        name
+        for name, member in vars(cls).items()
+        if not name.startswith("_") and inspect.isfunction(member)
+    }
+
+
+def test_counting_backend_wraps_every_base_kernel():
+    base = _public_kernels(PolynomialBackend)
+    wrapped = _own_methods(CountingBackend)
+    missing = sorted(base - wrapped)
+    assert not missing, (
+        "CountingBackend inherits base defaults for %s -- inherited "
+        "defaults re-derive the op through other self methods, corrupting "
+        "both delegation and the counts" % missing
+    )
+
+
+def test_counting_backend_adds_no_unknown_kernels():
+    base = _public_kernels(PolynomialBackend)
+    extra = sorted(_own_methods(CountingBackend) - base - {"reset"})
+    assert not extra, (
+        "CountingBackend defines public methods outside the "
+        "PolynomialBackend kernel surface: %s" % extra
+    )
+
+
+def _shape(fn):
+    """Parameter names and kinds, annotations ignored -- the same
+    comparison R2 performs on the AST (overrides may tighten type
+    annotations, but not rename or reorder parameters)."""
+    return tuple(
+        (p.name, p.kind) for p in inspect.signature(fn).parameters.values()
+    )
+
+
+def test_backend_signatures_match_base():
+    """Every override in every backend must keep the base parameter
+    shape -- positional drift would break call sites that treat
+    backends as interchangeable."""
+    base_shapes = {
+        name: _shape(inspect.getattr_static(PolynomialBackend, name))
+        for name in _public_kernels(PolynomialBackend)
+    }
+    for backend in (ReferenceBackend, NumpyBackend, CountingBackend):
+        for name, fn in vars(backend).items():
+            if name.startswith("_") or not inspect.isfunction(fn):
+                continue
+            if name not in base_shapes:
+                continue
+            got = _shape(fn)
+            assert got == base_shapes[name], (
+                "%s.%s parameters %s drifted from base %s"
+                % (backend.__name__, name, got, base_shapes[name])
+            )

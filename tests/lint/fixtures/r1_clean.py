@@ -1,0 +1,7 @@
+# lint-fixture-path: src/repro/ckks/evaluator.py
+# R1 clean fixture: stays on backend-native handles, chaining *_rows
+# kernels without ever lowering to canonical lists.
+
+
+def multiply_components(backend, modulus, a_handle, b_handle):
+    return backend.dyadic_stack_reduce(modulus, a_handle, b_handle)

@@ -1,0 +1,9 @@
+# lint-fixture-path: src/repro/ckks/evaluator.py
+# R1 violating fixture: materializes canonical residue lists inside a
+# hot-path module (two spellings, two findings expected).
+
+
+def lower_to_python(ct):
+    rows = ct.c0.residues
+    flat = ct.c1.to_rows()
+    return rows, flat

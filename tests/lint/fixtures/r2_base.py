@@ -1,0 +1,11 @@
+# lint-fixture-path: src/repro/lintfix/base.py
+# R2 shared fixture: a miniature kernel interface the wrapper fixtures
+# are checked against (the rule is configured onto these module names).
+
+
+class Base:
+    def ntt(self, modulus, rows):
+        raise NotImplementedError
+
+    def add(self, modulus, x, y):
+        raise NotImplementedError

@@ -1,0 +1,14 @@
+# lint-fixture-path: src/repro/lintfix/wrapper.py
+# R2 clean fixture: wraps every kernel with the exact base signature;
+# 'reset' is on the allowed-extras list.
+
+
+class Wrapper:
+    def ntt(self, modulus, rows):
+        return self.inner.ntt(modulus, rows)
+
+    def add(self, modulus, x, y):
+        return self.inner.add(modulus, x, y)
+
+    def reset(self):
+        pass

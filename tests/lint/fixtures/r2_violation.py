@@ -1,0 +1,13 @@
+# lint-fixture-path: src/repro/lintfix/wrapper.py
+# R2 violating fixture, three findings expected:
+#   * 'add' is never wrapped (falls through to the base default);
+#   * 'ntt' drifts from the base signature;
+#   * 'tally' is a public method naming no interface kernel.
+
+
+class Wrapper:
+    def ntt(self, modulus, rows, extra):
+        return self.inner.ntt(modulus, rows)
+
+    def tally(self):
+        return 0

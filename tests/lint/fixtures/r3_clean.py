@@ -1,0 +1,19 @@
+# lint-fixture-path: src/repro/serving/pump.py
+# R3 clean fixture: deadlines flow through the injectable Clock, the
+# RNG is an owned seeded instance, and time.perf_counter stays legal
+# (it measures durations for stats, never decides deadlines).
+
+import random
+import time
+
+from repro.serving.clock import SYSTEM_CLOCK, Clock
+
+
+def deadline_loop(work, clock: Clock = SYSTEM_CLOCK):
+    rng = random.Random(1234)
+    started = time.perf_counter()
+    deadline = clock() + 5.0
+    while clock() < deadline:
+        if rng.random() < 0.5:
+            work()
+    return time.perf_counter() - started

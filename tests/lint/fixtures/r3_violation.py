@@ -1,0 +1,15 @@
+# lint-fixture-path: src/repro/serving/pump.py
+# R3 violating fixture, four findings expected: a from-import of a
+# banned time name, two wall-clock reads deciding a deadline, and a
+# module-level RNG draw.
+
+import random
+import time
+from time import monotonic
+
+
+def deadline_loop(work):
+    deadline = time.monotonic() + 5.0
+    while time.time() < deadline:
+        if random.random() < 0.5:
+            work()

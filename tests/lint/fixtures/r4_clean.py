@@ -1,0 +1,17 @@
+# lint-fixture-path: src/repro/ckks/serialization.py
+# R4 clean fixture: the wire object has both directions and the
+# decoder validates the exact payload length before decoding.
+
+
+def _check_payload(payload, expected):
+    if len(payload) != expected:
+        raise ValueError("payload length mismatch")
+
+
+def serialize_widget(widget):
+    return bytes([widget.kind])
+
+
+def deserialize_widget(payload):
+    _check_payload(payload, 1)
+    return payload[0]

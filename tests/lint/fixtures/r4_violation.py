@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/ckks/serialization.py
+# R4 violating fixture, three findings expected: an encoder without its
+# decoder, a decoder without its encoder, and that same decoder never
+# running the exact-length payload check.
+
+
+def serialize_widget(widget):
+    return bytes([widget.kind])
+
+
+def deserialize_gadget(payload):
+    return payload[0]

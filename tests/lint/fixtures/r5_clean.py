@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/serving/handler.py
+# R5 clean fixture: the narrow handler names the survivable failure;
+# the broad one answers the client with an error response.
+
+
+def handle(frame, worker, outbox):
+    try:
+        worker.submit(frame)
+    except ValueError:
+        pass
+    except Exception as exc:
+        outbox.respond_error(frame, exc)

@@ -1,0 +1,10 @@
+# lint-fixture-path: src/repro/serving/handler.py
+# R5 violating fixture: a broad handler swallows the failure without
+# an ERROR frame or re-raise -- the request silently disappears.
+
+
+def handle(frame, worker):
+    try:
+        worker.submit(frame)
+    except Exception:
+        pass
