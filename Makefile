@@ -12,6 +12,8 @@
 #   make bench-hoisting hoisted-rotation gate (decompose-once vs per-rotation keyswitch)
 #   make bench-residency data-residency gate (resident storage vs list interchange)
 #   make bench-wire     wire-format-v2 gate (bit-packed residues vs 8-byte words)
+#   make bench-reliability  reliability gates (steady-state overhead + recovery time)
+#   make chaos          deterministic chaos suite (kills, corruption, retries) on both backends
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
 PYTHON ?= python
@@ -19,7 +21,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both lint bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire vectors
+.PHONY: test test-fast test-both lint bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire bench-reliability chaos vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +62,13 @@ bench-residency:
 bench-wire:
 	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_wire_bytes.py -q -s
 	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_wire_bytes.py -q -s
+
+bench-reliability:
+	$(PYTHON) -m pytest benchmarks/bench_reliability.py -q -s
+
+chaos:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest tests/serving/test_reliability.py tests/serving/test_supervisor.py -q
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest tests/serving/test_reliability.py tests/serving/test_supervisor.py -q
 
 vectors:
 	$(PYTHON) tests/vectors/regenerate.py

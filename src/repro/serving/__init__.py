@@ -26,7 +26,11 @@ that makes such streams executable batch-wise:
   process behind a pipe;
 * :mod:`repro.serving.cluster` -- the multi-worker front-door:
   consistent-hash placement on ``key_id``, cluster-wide load shedding,
-  graceful drain and crash failover, plus the asyncio socket layer.
+  graceful drain and crash failover, idempotent-retry dedup and
+  deadline admission, plus the asyncio socket layer;
+* :mod:`repro.serving.supervisor` -- the reliability layer above the
+  router: heartbeat probing, auto-restart with seeded exponential
+  backoff, and a circuit breaker quarantining flapping workers.
 
 ``benchmarks/bench_serving_throughput.py`` gates the point of the
 layer: dynamically batched serving must deliver >= 2x the per-request
@@ -42,17 +46,24 @@ from repro.serving.batcher import (
     SUPPORTED_OPS,
     homogeneity_key,
 )
-from repro.serving.clock import SYSTEM_CLOCK, Clock, ManualClock
+from repro.serving.clock import SYSTEM_CLOCK, Clock, ExponentialBackoff, ManualClock
 from repro.serving.cluster import (
     AsyncFrontDoor,
     ClusterReport,
     HashRing,
     NoWorkersError,
     ServingCluster,
+    UnknownWorkerError,
 )
 from repro.serving.framing import (
+    ERR_DEADLINE,
+    ERR_FATAL,
+    ERR_RETRYABLE,
     ERROR,
+    FRAME_V2,
+    FRAME_VERSION,
     HELLO,
+    LATEST_FRAME_VERSION,
     REQUEST,
     RESPONSE,
     Frame,
@@ -60,7 +71,10 @@ from repro.serving.framing import (
     StreamProtocolError,
     decode_frame,
     encode_frame,
+    error_class,
+    is_retryable_error,
     peek_frame_ids,
+    peek_frame_summary,
 )
 from repro.serving.queue import (
     BackpressureError,
@@ -74,7 +88,13 @@ from repro.serving.server import (
     ServingReport,
 )
 from repro.serving.session import ClientSession, SessionManager, UnknownClientError
+from repro.serving.supervisor import (
+    HeartbeatSupervisor,
+    SupervisorStats,
+    WorkerHealthView,
+)
 from repro.serving.traffic import (
+    ResilientClient,
     SyntheticClient,
     SyntheticTenant,
     multi_tenant_traffic,
@@ -99,13 +119,21 @@ __all__ = [
     "ClusterReport",
     "ClusterWorker",
     "DynamicBatcher",
+    "ERR_DEADLINE",
+    "ERR_FATAL",
+    "ERR_RETRYABLE",
     "ERROR",
     "EncryptedComputeServer",
+    "ExponentialBackoff",
+    "FRAME_V2",
+    "FRAME_VERSION",
     "FlushRecord",
     "Frame",
     "FrameDecoder",
     "HELLO",
     "HashRing",
+    "HeartbeatSupervisor",
+    "LATEST_FRAME_VERSION",
     "LocalWorkerHandle",
     "ManualClock",
     "NoWorkersError",
@@ -116,23 +144,30 @@ __all__ = [
     "REQUEST",
     "RESPONSE",
     "RequestQueue",
+    "ResilientClient",
     "SYSTEM_CLOCK",
     "ServingCluster",
     "ServingReport",
     "SessionManager",
     "StreamProtocolError",
     "SUPPORTED_OPS",
+    "SupervisorStats",
     "SyntheticClient",
     "SyntheticTenant",
     "UnknownClientError",
+    "UnknownWorkerError",
     "WorkerDeadError",
     "WorkerHandle",
+    "WorkerHealthView",
     "WorkerSpec",
     "WorkerStats",
     "decode_frame",
     "encode_frame",
+    "error_class",
     "homogeneity_key",
+    "is_retryable_error",
     "multi_tenant_traffic",
     "peek_frame_ids",
+    "peek_frame_summary",
     "synthetic_traffic",
 ]

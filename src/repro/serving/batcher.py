@@ -262,13 +262,22 @@ class DynamicBatcher:
         return None
 
     def due(self, now: Optional[float] = None) -> List[BatchGroup]:
-        """Lanes whose oldest request has exceeded the flush deadline."""
+        """Lanes due for a flush.
+
+        A lane is due when its oldest request has aged past the batching
+        delay -- or when any member's *request deadline* has arrived: a
+        request whose client-stamped deadline passes while it batches
+        must surface (the server answers it with a DEADLINE error) at
+        the next pump, not whenever the lane's batching delay happens to
+        elapse.
+        """
         if now is None:
             now = self.clock()
         expired = [
             key
             for key, group in self._groups.items()
             if now - group.opened_at >= self.max_delay_seconds
+            or any(r.deadline and now >= r.deadline for r in group.requests)
         ]
         groups = [self._groups.pop(key) for key in expired]
         for group in groups:

@@ -18,6 +18,7 @@ re-open the wall-clock hole for every manual-clock test above it.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable
 
@@ -28,6 +29,48 @@ Clock = Callable[[], float]
 #: default for ``clock=`` parameters instead of naming ``time.monotonic``
 #: directly, so the lint rule can pin all wall-clock access to this file.
 SYSTEM_CLOCK: Clock = time.monotonic
+
+
+class ExponentialBackoff:
+    """Seeded exponential backoff with jitter -- a *schedule*, not a timer.
+
+    Both halves of the reliability layer consult one of these: the
+    heartbeat supervisor to space worker restarts (so a crash-looping
+    worker does not burn the host rebuilding contexts in a tight loop)
+    and the resilient client to space request retries (so a shed fleet
+    does not stampede back in lockstep).  ``delay(attempt)`` is
+    ``min(max_delay, base * factor**attempt)`` stretched by up to
+    ``jitter`` of itself; the jitter stream is seeded, so a given seed
+    yields the same schedule on every run -- the chaos suite's restart
+    timings are reproducible to the tick.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.1,
+        factor: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ):
+        if base <= 0:
+            raise ValueError("base delay must be > 0")
+        if factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        raw = min(self.max_delay, self.base * self.factor ** attempt)
+        return raw * (1.0 + self.jitter * self._rng.random())
 
 
 class ManualClock:

@@ -32,8 +32,15 @@ router plus its asyncio socket front end:
 
 One request forwarded to a worker produces exactly one response frame
 (RESPONSE or ERROR) back through the router, so ``completed + shed +
-failed_over == submitted`` is an invariant the fault-injection suite
-asserts in every scenario.
+failed_over + expired == submitted`` is an invariant the fault-injection
+suite asserts in every scenario -- with retried requests counted once:
+a retry answered from the dedup cache (or refused because the original
+is still in flight) never increments ``submitted``.
+
+The reliability layer on top of this router -- heartbeat supervision,
+restart backoff, circuit breaking -- lives in
+:mod:`repro.serving.supervisor`; the idempotent-retry client half in
+:class:`repro.serving.traffic.ResilientClient`.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -53,13 +61,24 @@ from repro.ckks.serialization import (
 )
 from repro.serving import framing
 from repro.serving.clock import SYSTEM_CLOCK, Clock
-from repro.serving.framing import Frame, FrameDecoder, StreamProtocolError
+from repro.serving.framing import (
+    FRAME_VERSION,
+    FRAME_VERSIONS,
+    LATEST_FRAME_VERSION,
+    Frame,
+    FrameDecoder,
+    StreamProtocolError,
+)
 from repro.serving.session import UnknownClientError
 from repro.serving.worker import WorkerDeadError, WorkerHandle, WorkerStats
 
 
 class NoWorkersError(RuntimeError):
     """The hash ring is empty; nothing can be placed."""
+
+
+class UnknownWorkerError(KeyError):
+    """An operation named a worker the ring has never heard of."""
 
 
 class HashRing:
@@ -100,6 +119,17 @@ class HashRing:
             bisect.insort(self._points, point)
 
     def remove(self, worker_id: str) -> None:
+        """Take a worker's points off the ring.
+
+        Removing a worker that is not on the ring raises: the silent
+        no-op it used to be masked double-drain and kill-after-quarantine
+        bugs in which the caller *thought* it changed placement.
+        """
+        if worker_id not in self:
+            raise UnknownWorkerError(
+                f"worker {worker_id!r} is not on the ring; "
+                f"ring members: {self.worker_ids}"
+            )
         self._points = [p for p in self._points if p[1] != worker_id]
 
     def place(self, key: str) -> str:
@@ -115,14 +145,36 @@ class HashRing:
 
 @dataclass
 class ClusterReport:
-    """Router-level accounting (worker-level stats live with workers)."""
+    """Router-level accounting (worker-level stats live with workers).
+
+    The conservation law the fault suite asserts in every scenario:
+    ``completed + shed_requests + failed_over_requests +
+    expired_requests == submitted`` -- every submitted request is
+    answered exactly once, and a deduplicated retry is counted once
+    (dedup hits and duplicate-in-flight refusals never increment
+    ``submitted``; they are tracked in their own counters).
+    """
 
     submitted: int = 0
     completed: int = 0
     shed_requests: int = 0
     failed_over_requests: int = 0
+    #: requests answered with a DEADLINE error (router admission or
+    #: worker-side expiry) instead of a result.
+    expired_requests: int = 0
+    #: retries answered from the dedup cache without re-executing.
+    dedup_hits: int = 0
+    #: duplicates refused because the original is still in flight.
+    duplicate_inflight: int = 0
     #: admission-to-response seconds per completed request (router clock).
     latencies: List[float] = field(default_factory=list)
+
+
+#: Completed responses remembered per client for idempotent retries.
+#: Bounded: a retry storm cannot grow router memory, and a client that
+#: reuses a request_id older than the window is answered by re-execution
+#: (safe -- the ops are pure functions of their ciphertext).
+DEDUP_CACHE_SIZE = 128
 
 
 @dataclass
@@ -131,8 +183,13 @@ class _ClientRecord:
     key_id: str
     worker_id: str
     wire_version: int = VERSION
+    frame_version: int = FRAME_VERSION
     decoder: FrameDecoder = field(default_factory=FrameDecoder)
     outbox: List[bytes] = field(default_factory=list)
+    #: request_id -> encoded RESPONSE blob, insertion-ordered for LRU
+    #: eviction; a retry of a completed request replays these bytes
+    #: bit-identically instead of executing twice.
+    dedup: "OrderedDict[int, bytes]" = field(default_factory=OrderedDict)
 
 
 @dataclass
@@ -225,20 +282,33 @@ class ServingCluster:
         self._tenants[key_id] = _TenantKeys(relin_blob, galois_blobs)
 
     def register_client(
-        self, client_id: str, key_id: str, wire_version: int = VERSION
+        self,
+        client_id: str,
+        key_id: str,
+        wire_version: int = VERSION,
+        frame_version: int = FRAME_VERSION,
     ) -> str:
         """Open a session; returns the worker it was placed on.
 
         Re-registering an existing client with the same ``key_id`` is
         idempotent (a reconnecting socket client re-sends HELLO); with a
         different ``key_id`` it is an error.  ``wire_version`` is the
-        version this client's responses are serialized at; a reconnect
-        may renegotiate it.
+        version this client's responses are serialized at and
+        ``frame_version`` the frame-protocol version of its response
+        envelopes; a reconnect may renegotiate either.  A reconnect
+        keeps the record's dedup cache: replaying a completed request's
+        response after a reconnect is exactly the idempotent-retry case
+        the cache exists for.
         """
         if wire_version not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported wire version {wire_version}; "
                 f"supported: {SUPPORTED_VERSIONS}"
+            )
+        if frame_version not in FRAME_VERSIONS:
+            raise ValueError(
+                f"unsupported frame protocol version {frame_version}; "
+                f"supported: {FRAME_VERSIONS}"
             )
         existing = self._clients.get(client_id)
         if existing is not None:
@@ -247,9 +317,13 @@ class ServingCluster:
                     f"client {client_id!r} is registered under key_id "
                     f"{existing.key_id!r}, not {key_id!r}"
                 )
-            if existing.wire_version != wire_version:
+            if (
+                existing.wire_version != wire_version
+                or existing.frame_version != frame_version
+            ):
                 # a reconnect renegotiated: refresh the worker session
                 existing.wire_version = wire_version
+                existing.frame_version = frame_version
                 self._register_at_worker(existing.worker_id, existing)
             return existing.worker_id
         if key_id not in self._tenants:
@@ -257,7 +331,8 @@ class ServingCluster:
                 f"unknown key_id {key_id!r}: register the tenant's keys first"
             )
         worker_id = self.ring.place(key_id)
-        record = _ClientRecord(client_id, key_id, worker_id, wire_version)
+        record = _ClientRecord(client_id, key_id, worker_id, wire_version,
+                               frame_version)
         self._register_at_worker(worker_id, record)
         self._clients[client_id] = record
         return worker_id
@@ -269,7 +344,7 @@ class ServingCluster:
             # the worker caches key objects per key_id: no blob re-send
             self.workers[worker_id].register_session(
                 record.client_id, record.key_id, None, None,
-                record.wire_version,
+                record.wire_version, record.frame_version,
             )
         else:
             self.workers[worker_id].register_session(
@@ -278,6 +353,7 @@ class ServingCluster:
                 tenant.relin_blob,
                 tenant.galois_blobs,
                 record.wire_version,
+                record.frame_version,
             )
             uploaded.add(record.key_id)
 
@@ -305,30 +381,52 @@ class ServingCluster:
 
         Mirrors ``EncryptedComputeServer.receive``: a corrupt stream
         raises (transport must reset), but every frame decoded ahead of
-        the corruption is still admitted.
+        the corruption is still admitted.  The decoder itself is reset
+        before raising -- the corruption poisoned its buffer, and a
+        reconnecting client must not find the dead stream's bytes still
+        wedged in front of its fresh frames.
         """
         record = self._client(client_id)
         try:
             frames = record.decoder.feed(data)
         except StreamProtocolError as exc:
+            record.decoder = FrameDecoder()
             for frame in exc.frames:
                 self.receive_frame(client_id, frame)
             raise
         for frame in frames:
             self.receive_frame(client_id, frame)
 
-    def _respond_error(self, record: _ClientRecord, request_id: int, message: str) -> None:
+    def _respond_error(
+        self,
+        record: _ClientRecord,
+        request_id: int,
+        message: str,
+        code: str = framing.ERR_FATAL,
+    ) -> None:
+        """Queue an ERROR classified for the client's retry logic (the
+        class rides the frame's ``op`` field, see :func:`framing.error_class`)."""
         record.outbox.append(
             framing.encode_frame(
                 framing.ERROR,
                 request_id,
                 record.client_id,
+                op=code,
                 payload=message.encode("utf-8"),
+                frame_version=record.frame_version,
             )
         )
 
     def receive_frame(self, client_id: str, frame: Frame) -> None:
-        """Route one decoded frame to its session's worker."""
+        """Route one decoded frame to its session's worker.
+
+        Retry semantics live here, *before* the submitted counter: a
+        retry of a completed request replays the cached response
+        bit-identically (never re-executes), a retry of an in-flight
+        request is refused with a retryable ERROR (the original's
+        response is still coming), and neither counts as a new
+        submission -- a retried request is counted exactly once.
+        """
         record = self._client(client_id)
         if frame.kind != framing.REQUEST:
             self._respond_error(
@@ -343,13 +441,35 @@ class ServingCluster:
                 f"this connection's session {client_id!r}",
             )
             return
-        self.report.submitted += 1
+        cached = record.dedup.get(frame.request_id)
+        if cached is not None:
+            # idempotent retry: the request already executed; replay the
+            # exact response bytes and refresh its LRU position
+            record.dedup.move_to_end(frame.request_id)
+            self.report.dedup_hits += 1
+            record.outbox.append(cached)
+            return
         key = (client_id, frame.request_id)
         if key in self._inflight:
+            self.report.duplicate_inflight += 1
             self._respond_error(
                 record,
                 frame.request_id,
-                f"request_id {frame.request_id} is already in flight",
+                f"request_id {frame.request_id} is already in flight; "
+                "its response is coming",
+                code=framing.ERR_RETRYABLE,
+            )
+            return
+        self.report.submitted += 1
+        if frame.deadline and self.clock() >= frame.deadline:
+            # dead on arrival at the router: do not spend a worker hop
+            # (or a forward re-encode) on an abandoned request
+            self.report.expired_requests += 1
+            self._respond_error(
+                record,
+                frame.request_id,
+                "request deadline expired before admission",
+                code=framing.ERR_DEADLINE,
             )
             return
         if len(self._inflight) >= self.max_inflight:
@@ -361,6 +481,7 @@ class ServingCluster:
                 frame.request_id,
                 f"cluster at capacity ({self.max_inflight} in flight); "
                 "retry later",
+                code=framing.ERR_RETRYABLE,
             )
             return
         worker = self.workers[record.worker_id]
@@ -369,10 +490,15 @@ class ServingCluster:
             self.kill_worker(record.worker_id)
             worker = self.workers.get(record.worker_id)
             if worker is None or not worker.alive:
+                # counted as failed over: the request was submitted and
+                # is answered by this error, so the conservation law
+                # still balances
+                self.report.failed_over_requests += 1
                 self._respond_error(
                     record, frame.request_id,
                     f"worker {record.worker_id!r} is down; session re-placed, "
                     "retry",
+                    code=framing.ERR_RETRYABLE,
                 )
                 return
         worker.feed(
@@ -384,6 +510,13 @@ class ServingCluster:
                 op=frame.op,
                 op_arg=frame.op_arg,
                 payload=frame.payload,
+                deadline=frame.deadline,
+                # the forward hop carries the deadline, which needs a v2
+                # envelope; deadline-less requests re-encode at v1 so a
+                # legacy client's bytes stay legacy end to end
+                frame_version=(
+                    framing.FRAME_V2 if frame.deadline else FRAME_VERSION
+                ),
             ),
         )
         self._inflight[key] = (record.worker_id, self.clock())
@@ -399,23 +532,41 @@ class ServingCluster:
         return self._collect(now)
 
     def _collect(self, now: Optional[float] = None) -> int:
+        """Route worker terminal frames to client outboxes.
+
+        Each terminal is classified by a header peek (no payload
+        decode): a worker-side DEADLINE error counts as *expired*, any
+        other terminal as *completed*.  Completed RESPONSE blobs also
+        enter the client's dedup cache so a later retry of the same
+        request replays these exact bytes instead of executing twice.
+        """
         if now is None:
             now = self.clock()
         completed = 0
+        expired = 0
         for handle in self.workers.values():
             if not handle.alive:
                 continue
             for client_id, blobs in handle.poll_responses().items():
                 record = self._clients.get(client_id)
                 for blob in blobs:
-                    _, request_id = framing.peek_frame_ids(blob)
+                    kind, request_id, op = framing.peek_frame_summary(blob)
                     entry = self._inflight.pop((client_id, request_id), None)
                     if entry is not None:
                         self.report.latencies.append(now - entry[1])
                     if record is not None:
                         record.outbox.append(blob)
-                    completed += 1
+                        if kind == framing.RESPONSE:
+                            record.dedup[request_id] = blob
+                            record.dedup.move_to_end(request_id)
+                            while len(record.dedup) > DEDUP_CACHE_SIZE:
+                                record.dedup.popitem(last=False)
+                    if kind == framing.ERROR and op == framing.ERR_DEADLINE:
+                        expired += 1
+                    else:
+                        completed += 1
         self.report.completed += completed
+        self.report.expired_requests += expired
         return completed
 
     def drain(self, now: Optional[float] = None) -> int:
@@ -431,7 +582,13 @@ class ServingCluster:
 
     def client_inflight(self, client_id: str) -> int:
         """Requests of one client currently in flight (front-door uses
-        this to settle a connection before closing it)."""
+        this to settle a connection before closing it).
+
+        Raises :class:`UnknownClientError` for a client that never
+        registered -- a silent 0 here turned typo'd client ids into
+        "nothing in flight, safe to close" decisions.
+        """
+        self._client(client_id)
         return sum(1 for (cid, _) in self._inflight if cid == client_id)
 
     def take_outbox(self, client_id: str) -> List[bytes]:
@@ -491,7 +648,10 @@ class ServingCluster:
         # collect anything already produced and transferred before death
         if handle.alive:
             handle.kill()
-        self.ring.remove(worker_id)
+        if worker_id in self.ring:
+            # may already be off the ring (a drain or quarantine removed
+            # it); killing must still fail over whatever was in flight
+            self.ring.remove(worker_id)
         failed = 0
         for (client_id, request_id), (wid, _) in list(self._inflight.items()):
             if wid != worker_id:
@@ -504,6 +664,7 @@ class ServingCluster:
                     request_id,
                     f"worker {worker_id!r} died with the request in flight; "
                     "retry",
+                    code=framing.ERR_RETRYABLE,
                 )
             failed += 1
         self.report.failed_over_requests += failed
@@ -516,20 +677,26 @@ class ServingCluster:
         self._migrate_sessions()
         return failed
 
-    def restart_worker(self, worker_id: str) -> None:
-        """Build a fresh worker under an existing id and rejoin the ring.
+    def restart_worker(self, worker_id: str, rejoin: bool = True) -> None:
+        """Build a fresh worker under an existing id.
 
-        Consistent hashing re-places exactly the tenants that lived on
-        it before the crash -- they migrate back, sessions re-register,
-        and key material re-uploads (the fresh worker's cache is empty).
+        With ``rejoin=True`` (the default) the worker goes straight back
+        on the ring: consistent hashing re-places exactly the tenants
+        that lived on it before the crash -- they migrate back, sessions
+        re-register, and key material re-uploads (the fresh worker's
+        cache is empty).  ``rejoin=False`` builds the worker but leaves
+        it *off* the ring -- the supervisor's quarantine/probation path:
+        tenants stay where the failover re-placed them until the worker
+        proves it can stay alive, then :meth:`rejoin_worker` returns it.
         """
         old = self.workers.get(worker_id)
         if old is not None and old.alive:
             old.stop()
         self.workers[worker_id] = self._factory(worker_id)
         self._uploaded[worker_id] = set()
-        self.ring.add(worker_id)
-        self._migrate_sessions()
+        if rejoin:
+            self.ring.add(worker_id)
+            self._migrate_sessions()
 
     def rejoin_worker(self, worker_id: str) -> None:
         """Return a drained (still-alive) worker to the ring."""
@@ -684,11 +851,27 @@ class AsyncFrontDoor:
             # pre-negotiation protocol.  A nonzero request is answered
             # with a RESPONSE echoing the *negotiated* version
             # (min(requested, LATEST_VERSION)) in its own ``op_arg``.
+            #
+            # The HELLO *payload* negotiates the frame protocol the same
+            # way: one byte naming the highest frame version the client
+            # speaks (v2 = deadlines + CRC trailers).  An empty payload
+            # is the legacy frame protocol -- the legacy HELLO stays
+            # byte-identical -- and the ack's payload echoes the
+            # negotiated frame version only when the client sent one.
             requested = frame.op_arg
             negotiated = min(requested, LATEST_VERSION) if requested > 0 else VERSION
+            frame_requested = frame.payload[0] if frame.payload else 0
+            frame_negotiated = (
+                min(frame_requested, LATEST_FRAME_VERSION)
+                if frame_requested > 0
+                else FRAME_VERSION
+            )
             try:
                 self.cluster.register_client(
-                    frame.client_id, key_id=frame.op, wire_version=negotiated
+                    frame.client_id,
+                    key_id=frame.op,
+                    wire_version=negotiated,
+                    frame_version=frame_negotiated,
                 )
             except (ValueError, KeyError) as exc:
                 writer.write(
@@ -701,7 +884,10 @@ class AsyncFrontDoor:
                 )
                 return client_id
             self._writers[frame.client_id] = writer
-            if requested > 0:
+            if requested > 0 or frame_requested > 0:
+                # the ack itself rides the just-negotiated frame
+                # envelope: a client that asked for v2 can decode v2,
+                # and everything after the HELLO is uniform
                 writer.write(
                     framing.encode_frame(
                         framing.RESPONSE,
@@ -709,6 +895,12 @@ class AsyncFrontDoor:
                         frame.client_id,
                         op="hello",
                         op_arg=negotiated,
+                        payload=(
+                            bytes([frame_negotiated])
+                            if frame_requested > 0
+                            else b""
+                        ),
+                        frame_version=frame_negotiated,
                     )
                 )
             return frame.client_id

@@ -14,22 +14,53 @@ of a request or response frame is exactly one HEAX-serialized object
 (its own header re-validates shape and exact length on arrival -- a
 truncated ciphertext raises instead of deserializing as zeros).
 
+**Frame protocol v2** (negotiated at HELLO time, see
+:data:`FRAME_V2`) extends the fixed header with an ``f64 deadline``
+and appends a ``u32 CRC32`` computed over the whole body, so a flipped
+payload byte is a deterministic decode error instead of a bit pattern
+the deserializer may or may not notice:
+
+    ``u32 length | magic | u8 version=2 | u8 kind | u64 request_id
+    | i32 op_arg | u8 client_len | u8 op_len | f64 deadline
+    | client_id | op | payload | u32 crc32``
+
+``deadline`` is an absolute instant on the serving clock (0 = none);
+the reliability layer checks it at router admission, worker admission
+and batch flush, answering late requests with a DEADLINE-class ERROR
+instead of executing them.  Legacy (v1) frames are encoded and decoded
+bit-for-bit as before -- a peer that never negotiates v2 cannot tell
+this extension exists.
+
+ERROR frames carry a machine-readable *class* in their ``op`` field --
+:data:`ERR_RETRYABLE` (shed, worker death, drain: safe to re-send the
+identical request), :data:`ERR_DEADLINE` (expired: re-sending the same
+deadline cannot succeed) or :data:`ERR_FATAL` (bad payload, unknown
+op: a retry would fail identically) -- so a resilient client can
+decide to retry without parsing prose.
+
 :class:`FrameDecoder` is the stateful stream side: bytes arrive in
 arbitrary chunks (as they do from a socket), complete frames come out.
 A partial *frame* just waits for more bytes; a malformed one (bad
-magic, unknown kind, inconsistent lengths, or a length field exceeding
-the frame cap) raises ``ValueError`` immediately, because a stream
-whose framing is corrupt cannot be resynchronized.
+magic, unknown kind, inconsistent lengths, a length field exceeding
+the frame cap, or a v2 CRC mismatch) raises ``ValueError``
+immediately, because a stream whose framing is corrupt cannot be
+resynchronized.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 FRAME_MAGIC = b"HSRV"
 FRAME_VERSION = 1
+#: Frame protocol v2: deadline-bearing, CRC32-trailed frames.
+FRAME_V2 = 2
+#: Frame protocol versions this module encodes and decodes.
+FRAME_VERSIONS = (FRAME_VERSION, FRAME_V2)
+LATEST_FRAME_VERSION = FRAME_V2
 
 #: Frame kinds.
 REQUEST = 1
@@ -48,11 +79,37 @@ HELLO = 4
 
 _KINDS = (REQUEST, RESPONSE, ERROR, HELLO)
 
+#: ERROR-frame classes (carried in the frame's ``op`` field).  A legacy
+#: ERROR frame with an empty ``op`` is treated as fatal -- the safe
+#: default: an unclassified failure must not be retried blindly.
+ERR_RETRYABLE = "retryable"
+ERR_FATAL = "fatal"
+ERR_DEADLINE = "deadline"
+ERROR_CLASSES = (ERR_RETRYABLE, ERR_FATAL, ERR_DEADLINE)
+
+
+def error_class(frame: "Frame") -> str:
+    """The retry class of an ERROR frame (fatal for legacy/unclassified)."""
+    if frame.kind != ERROR:
+        raise ValueError(f"frame kind {frame.kind} is not an ERROR frame")
+    return frame.op if frame.op in ERROR_CLASSES else ERR_FATAL
+
+
+def is_retryable_error(frame: "Frame") -> bool:
+    """True when re-sending the identical request is safe and useful."""
+    return frame.kind == ERROR and error_class(frame) == ERR_RETRYABLE
+
+
 _PREFIX = struct.Struct("<I")
 _FIXED = struct.Struct("<4sBBQiBB")  # magic, ver, kind, req_id, op_arg, lens
+#: v2 fixed header: v1 fields (same offsets) then the f64 deadline.
+_FIXED_V2 = struct.Struct("<4sBBQiBBd")
+_CRC = struct.Struct("<I")
 
 #: Prefix + fixed-header bytes preceding the variable section.
 FRAME_OVERHEAD = _PREFIX.size + _FIXED.size
+#: v2 frames additionally carry the deadline field and the CRC trailer.
+FRAME_OVERHEAD_V2 = _PREFIX.size + _FIXED_V2.size + _CRC.size
 
 #: Default frame cap -- comfortably above a Set-C size-3 ciphertext
 #: (3 x 8 x 16384 x 8 B ~= 3 MiB) while bounding what one client can
@@ -70,6 +127,8 @@ class Frame:
     op: str = ""
     op_arg: int = 0
     payload: bytes = b""
+    #: absolute deadline on the serving clock (0.0 = none; v2 frames only).
+    deadline: float = 0.0
 
     @property
     def is_request(self) -> bool:
@@ -88,19 +147,45 @@ def encode_frame(
     op: str = "",
     op_arg: int = 0,
     payload: bytes = b"",
+    deadline: float = 0.0,
+    frame_version: int = FRAME_VERSION,
 ) -> bytes:
-    """Encode one frame, length prefix included."""
+    """Encode one frame, length prefix included.
+
+    ``frame_version`` selects the frame protocol: v1 is the legacy
+    bit-for-bit layout; v2 carries ``deadline`` and a CRC32 trailer.
+    A nonzero deadline therefore requires v2 -- silently dropping it on
+    a v1 frame would disable deadline enforcement behind the caller's
+    back, so that combination raises instead.
+    """
     if kind not in _KINDS:
         raise ValueError(f"unknown frame kind {kind}")
+    if frame_version not in FRAME_VERSIONS:
+        raise ValueError(
+            f"unknown frame protocol version {frame_version}; "
+            f"supported: {FRAME_VERSIONS}"
+        )
     client = client_id.encode("utf-8")
     op_bytes = op.encode("utf-8")
     if len(client) > 255 or len(op_bytes) > 255:
         raise ValueError("client_id and op must encode to <= 255 bytes")
-    fixed = _FIXED.pack(
-        FRAME_MAGIC, FRAME_VERSION, kind, request_id, op_arg,
-        len(client), len(op_bytes),
-    )
-    body = fixed + client + op_bytes + payload
+    if frame_version == FRAME_VERSION:
+        if deadline:
+            raise ValueError(
+                "deadlines require frame protocol v2; this peer negotiated v1"
+            )
+        fixed = _FIXED.pack(
+            FRAME_MAGIC, FRAME_VERSION, kind, request_id, op_arg,
+            len(client), len(op_bytes),
+        )
+        body = fixed + client + op_bytes + payload
+    else:
+        fixed = _FIXED_V2.pack(
+            FRAME_MAGIC, FRAME_V2, kind, request_id, op_arg,
+            len(client), len(op_bytes), deadline,
+        )
+        body = fixed + client + op_bytes + payload
+        body += _CRC.pack(zlib.crc32(body))
     return _PREFIX.pack(len(body)) + body
 
 
@@ -110,18 +195,36 @@ def _decode_body(body: memoryview) -> Frame:
     )
     if magic != FRAME_MAGIC:
         raise ValueError("not a serving-protocol frame")
-    if version != FRAME_VERSION:
+    if version not in FRAME_VERSIONS:
         raise ValueError(f"unsupported frame version {version}")
     if kind not in _KINDS:
         raise ValueError(f"unknown frame kind {kind}")
-    if _FIXED.size + client_len + op_len > len(body):
+    deadline = 0.0
+    tail = len(body)
+    if version == FRAME_V2:
+        if _FIXED_V2.size + _CRC.size > len(body):
+            raise ValueError("v2 frame too short for deadline and CRC")
+        deadline = _FIXED_V2.unpack_from(body)[7]
+        tail = len(body) - _CRC.size
+        (stored_crc,) = _CRC.unpack_from(body, tail)
+        actual_crc = zlib.crc32(body[:tail])
+        if stored_crc != actual_crc:
+            raise ValueError(
+                f"frame CRC mismatch (stored {stored_crc:#010x}, computed "
+                f"{actual_crc:#010x}): payload corrupted in transit"
+            )
+        pos = _FIXED_V2.size
+    else:
+        pos = _FIXED.size
+    if pos + client_len + op_len > tail:
         raise ValueError("frame length inconsistent with id/op lengths")
-    pos = _FIXED.size
     client_id = bytes(body[pos : pos + client_len]).decode("utf-8")
     pos += client_len
     op = bytes(body[pos : pos + op_len]).decode("utf-8")
     pos += op_len
-    return Frame(kind, request_id, client_id, op, op_arg, bytes(body[pos:]))
+    return Frame(
+        kind, request_id, client_id, op, op_arg, bytes(body[pos:tail]), deadline
+    )
 
 
 #: offset of the (kind, request_id) pair inside an encoded frame:
@@ -135,11 +238,40 @@ def peek_frame_ids(data: bytes) -> "tuple[int, int]":
 
     The router routes thousands of already-validated response frames; a
     two-field peek keeps that bookkeeping O(1) per frame instead of a
-    full decode (which would copy the ciphertext payload).
+    full decode (which would copy the ciphertext payload).  The peeked
+    fields sit at identical offsets in both frame protocol versions.
     """
     if len(data) < _IDS_OFFSET + _IDS.size:
         raise ValueError("truncated frame: too short for kind/request_id")
     return _IDS.unpack_from(data, _IDS_OFFSET)
+
+
+#: offset of the frame-protocol version byte inside an encoded frame.
+_VERSION_OFFSET = _PREFIX.size + 4
+#: offset of the (client_len, op_len) pair -- identical in v1 and v2.
+_LENS_OFFSET = _IDS_OFFSET + _IDS.size + 4
+_LENS = struct.Struct("<BB")
+
+
+def peek_frame_summary(data: bytes) -> Tuple[int, int, str]:
+    """Read ``(kind, request_id, op)`` off an encoded frame cheaply.
+
+    Extends :func:`peek_frame_ids` with the ``op`` field, which the
+    router needs to classify a worker's terminal ERROR frames (a
+    DEADLINE-class error counts as *expired*, not completed, in the
+    conservation law) without copying the ciphertext payload.
+    """
+    kind, request_id = peek_frame_ids(data)
+    if len(data) < _LENS_OFFSET + _LENS.size:
+        raise ValueError("truncated frame: too short for id/op lengths")
+    client_len, op_len = _LENS.unpack_from(data, _LENS_OFFSET)
+    version = data[_VERSION_OFFSET]
+    fixed_size = _FIXED_V2.size if version == FRAME_V2 else _FIXED.size
+    start = _PREFIX.size + fixed_size + client_len
+    if len(data) < start + op_len:
+        raise ValueError("truncated frame: too short for its op field")
+    op = bytes(data[start : start + op_len]).decode("utf-8")
+    return kind, request_id, op
 
 
 def decode_frame(data: bytes) -> Frame:

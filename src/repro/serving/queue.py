@@ -49,6 +49,11 @@ class PendingRequest:
     #: lets the batcher recognize *the same ciphertext* rotated by many
     #: steps and hoist those requests onto one key-switch decomposition.
     payload_digest: bytes = b""
+    #: client-stamped absolute deadline on the serving clock (0 = none);
+    #: checked again at batch-flush time -- an admitted request whose
+    #: deadline passed while it waited in a lane is answered with a
+    #: DEADLINE error instead of executing late.
+    deadline: float = 0.0
 
 
 @dataclass

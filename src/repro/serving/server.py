@@ -84,6 +84,9 @@ class ServingReport:
     latencies: List[float] = field(default_factory=list)
     rejected_requests: int = 0
     error_responses: int = 0
+    #: requests answered with a DEADLINE error -- either dead on arrival
+    #: (admission check) or expired while waiting in a batch lane.
+    expired_requests: int = 0
 
     @property
     def request_count(self) -> int:
@@ -178,14 +181,28 @@ class EncryptedComputeServer:
         self._accept(self.sessions.get(client_id), frame)
 
     def _respond_error(
-        self, session: ClientSession, request_id: int, message: str
+        self,
+        session: ClientSession,
+        request_id: int,
+        message: str,
+        code: str = framing.ERR_FATAL,
     ) -> None:
+        """Queue an ERROR frame classified for the client's retry logic.
+
+        ``code`` rides the frame's ``op`` field (:data:`framing.ERR_FATAL`
+        for malformed/unservable requests, :data:`framing.ERR_RETRYABLE`
+        for transient refusals like backpressure, :data:`framing.ERR_DEADLINE`
+        for expired requests) so a resilient client can decide to resend
+        without parsing human-oriented message text.
+        """
         session.outbox.append(
             framing.encode_frame(
                 framing.ERROR,
                 request_id,
                 session.client_id,
+                op=code,
                 payload=message.encode("utf-8"),
+                frame_version=session.frame_version,
             )
         )
         self.report.error_responses += 1
@@ -193,7 +210,11 @@ class EncryptedComputeServer:
     def _reject(self, session: ClientSession, request_id: int, message: str) -> None:
         session.requests_rejected += 1
         self.report.rejected_requests += 1
-        self._respond_error(session, request_id, message)
+        # backpressure and drain refusals are transient by construction:
+        # the request was never admitted, so resending it is always safe
+        self._respond_error(
+            session, request_id, message, code=framing.ERR_RETRYABLE
+        )
 
     def _accept(self, session: ClientSession, frame: Frame) -> None:
         if frame.kind != framing.REQUEST:
@@ -216,6 +237,17 @@ class EncryptedComputeServer:
                 session,
                 frame.request_id,
                 f"unknown op {frame.op!r}; supported: {', '.join(SUPPORTED_OPS)}",
+            )
+            return
+        if frame.deadline and self.clock() >= frame.deadline:
+            # dead on arrival: answer before spending a ciphertext
+            # deserialization on work the client has already abandoned
+            self.report.expired_requests += 1
+            self._respond_error(
+                session,
+                frame.request_id,
+                "request deadline expired before admission",
+                code=framing.ERR_DEADLINE,
             )
             return
         key_kind = OP_KEY_KIND[frame.op]
@@ -271,7 +303,7 @@ class EncryptedComputeServer:
         )
         request = PendingRequest(
             session, frame.request_id, frame.op, frame.op_arg, ct,
-            self.clock(), key, digest,
+            self.clock(), key, digest, deadline=frame.deadline,
         )
         try:
             self.queue.submit(request)
@@ -401,6 +433,27 @@ class EncryptedComputeServer:
     def _execute(self, group: BatchGroup) -> int:
         """Run one flush, respond to every member, record accounting."""
         requests = group.requests
+        # deadline re-check at flush time: a request admitted alive may
+        # expire while its lane waits to fill; expired members get a
+        # DEADLINE error and the rest of the flush executes without them
+        flush_now = self.clock()
+        expired = 0
+        live = []
+        for request in requests:
+            if request.deadline and flush_now >= request.deadline:
+                expired += 1
+                self.report.expired_requests += 1
+                self._respond_error(
+                    request.session,
+                    request.request_id,
+                    "request deadline expired while batching",
+                    code=framing.ERR_DEADLINE,
+                )
+            else:
+                live.append(request)
+        if not live:
+            return expired
+        requests = live
         if group.hoisted:
             # step-keyed lanes fail independently per step, and migrating
             # into a hoist lane must not weaken that: a member whose step
@@ -420,7 +473,7 @@ class EncryptedComputeServer:
                         "generate it first",
                     )
             if not servable:
-                return len(requests)
+                return len(requests) + expired
             rejected = len(requests) - len(servable)
             requests = servable
         else:
@@ -455,7 +508,7 @@ class EncryptedComputeServer:
                 self._respond_error(
                     request.session, request.request_id, f"op failed: {exc}"
                 )
-            return len(requests) + rejected
+            return len(requests) + rejected + expired
         seconds = time.perf_counter() - t0
         now = self.clock()
         for request, result in zip(requests, results):
@@ -468,11 +521,14 @@ class EncryptedComputeServer:
                     # request's own op/op_arg rather than the lane's
                     op=request.op,
                     op_arg=request.op_arg,
-                    # responses go out at the version this client
-                    # negotiated at HELLO time (v1 for legacy clients)
+                    # responses go out at the versions this client
+                    # negotiated at HELLO time (v1 for legacy clients):
+                    # ciphertext wire version for the payload, frame
+                    # protocol version for the envelope
                     payload=serialize_ciphertext(
                         result, version=request.session.wire_version
                     ),
+                    frame_version=request.session.frame_version,
                 )
             )
             self.report.latencies.append(now - request.enqueued_at)
@@ -500,7 +556,7 @@ class EncryptedComputeServer:
                 ScheduledOp(_SCHED_KIND[group.op], in_bytes, out_bytes, seconds),
             )
         )
-        return len(requests) + rejected
+        return len(requests) + rejected + expired
 
     # ------------------------------------------------------------------
     # system-model integration

@@ -32,7 +32,7 @@ from repro.ckks.serialization import (
     VERSION,
     deserialize_kswitch_key,
 )
-from repro.serving.framing import FrameDecoder
+from repro.serving.framing import FRAME_VERSION, FRAME_VERSIONS, FrameDecoder
 
 
 def relin_key_from_wire(blob: bytes, context: CkksContext) -> RelinKey:
@@ -73,11 +73,17 @@ class ClientSession:
         galois_keys: Optional[GaloisKeySet] = None,
         max_frame_bytes: Optional[int] = None,
         wire_version: int = VERSION,
+        frame_version: int = FRAME_VERSION,
     ):
         if wire_version not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported wire version {wire_version}; "
                 f"supported: {SUPPORTED_VERSIONS}"
+            )
+        if frame_version not in FRAME_VERSIONS:
+            raise ValueError(
+                f"unsupported frame protocol version {frame_version}; "
+                f"supported: {FRAME_VERSIONS}"
             )
         self.client_id = client_id
         self.key_id = key_id
@@ -87,6 +93,11 @@ class ClientSession:
         #: Requests may arrive in any supported version (the header says
         #: which); responses are serialized at the negotiated version.
         self.wire_version = wire_version
+        #: Frame *protocol* version for this client's response frames:
+        #: v2 frames carry deadlines and a CRC32 trailer, v1 frames are
+        #: bit-for-bit the legacy layout.  Negotiated at HELLO time,
+        #: independently of the ciphertext wire version above.
+        self.frame_version = frame_version
         self.decoder = (
             FrameDecoder(max_frame_bytes)
             if max_frame_bytes is not None
@@ -131,6 +142,7 @@ class SessionManager:
         key_id: Optional[str] = None,
         max_frame_bytes: Optional[int] = None,
         wire_version: int = VERSION,
+        frame_version: int = FRAME_VERSION,
     ) -> ClientSession:
         """Create a session; ``key_id`` defaults to the client's own id."""
         if client_id in self._sessions:
@@ -142,6 +154,7 @@ class SessionManager:
             galois_keys,
             max_frame_bytes,
             wire_version,
+            frame_version,
         )
         self._sessions[client_id] = session
         return session

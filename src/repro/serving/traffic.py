@@ -18,7 +18,7 @@ serving layer exists to exploit.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.ckks.context import CkksContext
 from repro.ckks.decryptor import Decryptor
@@ -27,6 +27,8 @@ from repro.ckks.encryptor import Encryptor
 from repro.ckks.keys import KeyGenerator
 from repro.ckks.serialization import VERSION
 from repro.serving import framing
+from repro.serving.clock import Clock, ExponentialBackoff
+from repro.serving.framing import FRAME_V2, FRAME_VERSION, StreamProtocolError
 from repro.serving.server import EncryptedComputeServer
 
 
@@ -94,10 +96,14 @@ class SyntheticClient:
         client_id: str,
         seed: int,
         wire_version: int = VERSION,
+        frame_version: int = FRAME_VERSION,
     ):
         self.tenant = tenant
         self.client_id = client_id
         self.wire_version = wire_version
+        #: frame protocol this client speaks (v2 = deadlines + CRC);
+        #: the default keeps every existing caller's bytes legacy v1
+        self.frame_version = frame_version
         self.encryptor = Encryptor(tenant.context, tenant.public_key, seed=seed)
         self._next_request_id = 0
 
@@ -119,13 +125,25 @@ class SyntheticClient:
         the session was placed on.
         """
         return cluster.register_client(
-            self.client_id, self.tenant.key_id, wire_version=self.wire_version
+            self.client_id,
+            self.tenant.key_id,
+            wire_version=self.wire_version,
+            frame_version=self.frame_version,
         )
 
     def request_bytes(
-        self, op: str, values: Sequence[float], op_arg: int = 0
+        self,
+        op: str,
+        values: Sequence[float],
+        op_arg: int = 0,
+        deadline: float = 0.0,
     ) -> bytes:
-        """Encode + encrypt ``values`` into one wire-ready request frame."""
+        """Encode + encrypt ``values`` into one wire-ready request frame.
+
+        ``deadline`` is an absolute instant on the serving clock; a
+        nonzero deadline needs the v2 frame envelope, so it is encoded
+        at v2 even for a client configured for legacy frames.
+        """
         from repro.ckks.serialization import serialize_ciphertext
 
         ct = self.encryptor.encrypt(self.tenant.encoder.encode(list(values)))
@@ -138,6 +156,8 @@ class SyntheticClient:
             op=op,
             op_arg=op_arg,
             payload=serialize_ciphertext(ct, version=self.wire_version),
+            deadline=deadline,
+            frame_version=FRAME_V2 if deadline else self.frame_version,
         )
 
     def rotation_sweep_bytes(
@@ -168,9 +188,157 @@ class SyntheticClient:
                     op="rotate",
                     op_arg=step,
                     payload=payload,
+                    frame_version=self.frame_version,
                 )
             )
         return frames
+
+
+class ResilientClient:
+    """A cluster client with reconnect, idempotent retry, and deadlines.
+
+    Wraps a :class:`SyntheticClient` talking to a
+    :class:`~repro.serving.cluster.ServingCluster` and implements the
+    client half of the reliability contract:
+
+    * **Idempotent retry** -- every submitted request's exact frame
+      bytes are kept until a terminal answer arrives.  A *retryable*
+      ERROR (backpressure, shed, failover) schedules a resend of those
+      identical bytes after a seeded exponential backoff; the router's
+      dedup cache guarantees a retry of an already-completed request
+      replays the original response instead of executing twice, so
+      resending is always safe.
+    * **Corruption recovery** -- a :class:`StreamProtocolError` raised
+      by the transport (the CRC or framing layer caught corruption)
+      resends the same bytes; the router reset the stream decoder, so
+      the resend starts clean.
+    * **Classification** -- fatal and deadline ERRORs are terminal:
+      they land in :attr:`failures` and are never retried.
+
+    Everything is driven by :meth:`poll` against the cluster's
+    injectable clock, so retry schedules are deterministic under a
+    manual clock.
+    """
+
+    def __init__(
+        self,
+        client: SyntheticClient,
+        cluster,
+        max_attempts: int = 4,
+        backoff: Optional[ExponentialBackoff] = None,
+        clock: Optional[Clock] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.client = client
+        self.cluster = cluster
+        self.max_attempts = max_attempts
+        self.clock: Clock = clock if clock is not None else cluster.clock
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else ExponentialBackoff(base=0.01, seed=zlib_seed(client.client_id))
+        )
+        #: request_id -> exact frame bytes awaiting a terminal answer
+        self._pending: Dict[int, bytes] = {}
+        self._attempts: Dict[int, int] = {}
+        self._retry_at: Dict[int, float] = {}
+        #: request_id -> RESPONSE frame bytes (first copy received; a
+        #: dedup replay is bit-identical by contract, so first == only)
+        self.responses: Dict[int, bytes] = {}
+        #: request_id -> terminal failure description
+        self.failures: Dict[int, str] = {}
+        self.retries_sent = 0
+        self.corruption_resends = 0
+        self.reconnects = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> str:
+        """Open (or idempotently re-open) the session; returns worker id."""
+        return self.client.connect_cluster(self.cluster)
+
+    def reconnect(self) -> str:
+        """Re-register after a connection loss (idempotent at the router)."""
+        self.reconnects += 1
+        return self.connect()
+
+    @property
+    def outstanding(self) -> int:
+        """Requests with no terminal answer yet."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _send(self, data: bytes) -> None:
+        try:
+            self.cluster.receive(self.client.client_id, data)
+        except StreamProtocolError:
+            # the transport caught corruption (CRC mismatch, bad magic)
+            # and reset the stream; resending the identical bytes is
+            # safe -- if the frame did get through, the router's dedup
+            # or in-flight refusal answers the duplicate
+            self.corruption_resends += 1
+            self.cluster.receive(self.client.client_id, data)
+
+    def submit(
+        self,
+        op: str,
+        values: Sequence[float],
+        op_arg: int = 0,
+        deadline: float = 0.0,
+    ) -> int:
+        """Encrypt, frame and send one request; returns its request id."""
+        data = self.client.request_bytes(op, values, op_arg, deadline=deadline)
+        request_id = self.client._next_request_id - 1
+        self._pending[request_id] = data
+        self._attempts[request_id] = 0
+        self._send(data)
+        return request_id
+
+    def poll(self, now: Optional[float] = None) -> List[int]:
+        """Drain responses, classify errors, send due retries.
+
+        Returns the request ids that reached a terminal state (response
+        or failure) during this poll.
+        """
+        if now is None:
+            now = self.clock()
+        settled: List[int] = []
+        for blob in self.cluster.take_outbox(self.client.client_id):
+            frame = framing.decode_frame(blob)
+            request_id = frame.request_id
+            if frame.kind == framing.RESPONSE:
+                if request_id not in self.responses:
+                    self.responses[request_id] = blob
+                if self._pending.pop(request_id, None) is not None:
+                    settled.append(request_id)
+                self._retry_at.pop(request_id, None)
+                continue
+            if frame.kind != framing.ERROR or request_id not in self._pending:
+                continue  # stale terminal for an already-settled request
+            attempts = self._attempts.get(request_id, 0)
+            if framing.is_retryable_error(frame) and attempts < self.max_attempts:
+                self._attempts[request_id] = attempts + 1
+                self._retry_at[request_id] = now + self.backoff.delay(attempts)
+            else:
+                self.failures[request_id] = (
+                    f"{framing.error_class(frame)}: {frame.error_message}"
+                )
+                del self._pending[request_id]
+                self._retry_at.pop(request_id, None)
+                settled.append(request_id)
+        for request_id, at in sorted(self._retry_at.items()):
+            if now >= at:
+                del self._retry_at[request_id]
+                self.retries_sent += 1
+                self._send(self._pending[request_id])
+        return settled
+
+
+def zlib_seed(token: str) -> int:
+    """A stable (non-salted) integer seed from a string token."""
+    import zlib
+
+    return zlib.crc32(token.encode("utf-8"))
 
 
 def synthetic_traffic(
@@ -223,6 +391,7 @@ def multi_tenant_traffic(
     seed: int = 2020,
     ops: Optional[Sequence[Tuple[str, int]]] = None,
     wire_version: int = VERSION,
+    frame_version: int = FRAME_VERSION,
     seed_expandable: bool = False,
 ) -> Tuple[List[SyntheticTenant], List[SyntheticClient], List[Tuple[str, bytes]]]:
     """Deterministic traffic across several tenants (the cluster workload).
@@ -255,6 +424,7 @@ def multi_tenant_traffic(
             f"{tenant.key_id}-client-{c}",
             seed=seed + 13 * (t * clients_per_tenant + c),
             wire_version=wire_version,
+            frame_version=frame_version,
         )
         for t, tenant in enumerate(tenants)
         for c in range(clients_per_tenant)

@@ -79,6 +79,8 @@ class WorkerStats:
     completed: int = 0
     rejected: int = 0
     errors: int = 0
+    #: requests answered with a DEADLINE error instead of executing.
+    expired: int = 0
     latencies: List[float] = field(default_factory=list)
 
 
@@ -109,6 +111,7 @@ class ClusterWorker:
         relin_blob: Optional[bytes] = None,
         galois_blobs: Optional[Dict[int, bytes]] = None,
         wire_version: int = 1,
+        frame_version: int = 1,
     ) -> None:
         """Open (or refresh, after a migration round-trip) one session.
 
@@ -138,6 +141,7 @@ class ClusterWorker:
             session.relin_key = relin
             session.galois_keys = galois
             session.wire_version = wire_version
+            session.frame_version = frame_version
         else:
             self.server.register_client(
                 client_id,
@@ -145,6 +149,7 @@ class ClusterWorker:
                 galois_keys=galois,
                 key_id=key_id,
                 wire_version=wire_version,
+                frame_version=frame_version,
             )
 
     # ------------------------------------------------------------------
@@ -182,6 +187,7 @@ class ClusterWorker:
             completed=report.request_count,
             rejected=report.rejected_requests,
             errors=report.error_responses,
+            expired=report.expired_requests,
             latencies=list(report.latencies),
         )
 
@@ -201,8 +207,19 @@ class WorkerHandle:
     def alive(self) -> bool:
         raise NotImplementedError
 
+    def ping(self) -> bool:
+        """Liveness probe for the heartbeat supervisor.
+
+        The default is the transport's own ``alive`` signal; transports
+        with a richer health check (a process that is alive but wedged)
+        may override.  Must never raise: a probe that blows up is
+        indistinguishable from a dead worker, so report ``False`` instead.
+        """
+        return self.alive
+
     def register_session(
-        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1,
+        frame_version=1,
     ):
         raise NotImplementedError
 
@@ -265,10 +282,12 @@ class LocalWorkerHandle(WorkerHandle):
         return self._core
 
     def register_session(
-        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1,
+        frame_version=1,
     ):
         self.core.register_session(
-            client_id, key_id, relin_blob, galois_blobs, wire_version
+            client_id, key_id, relin_blob, galois_blobs, wire_version,
+            frame_version,
         )
 
     def feed(self, client_id: str, data: bytes) -> None:
@@ -419,10 +438,14 @@ class ProcessWorkerHandle(WorkerHandle):
         self._conn.send(msg)
 
     def register_session(
-        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1
+        self, client_id, key_id, relin_blob, galois_blobs, wire_version=1,
+        frame_version=1,
     ):
         self._send(
-            ("register", client_id, key_id, relin_blob, galois_blobs, wire_version)
+            (
+                "register", client_id, key_id, relin_blob, galois_blobs,
+                wire_version, frame_version,
+            )
         )
 
     def feed(self, client_id: str, data: bytes) -> None:

@@ -1,0 +1,20 @@
+# lint-fixture-path: src/repro/serving/supervisor.py
+# R5 clean fixture (stat recording): recovery machinery may absorb a
+# broad failure by *counting* it -- a probe that raises is a missed
+# probe, and the count drives the restart path that answers clients.
+
+
+class Probe:
+    def probe(self, handle):
+        try:
+            ok = handle.ping()
+        except Exception:
+            self.stats.probe_errors += 1
+            ok = False
+        return ok
+
+    def retry(self, send, data):
+        try:
+            send(data)
+        except Exception:
+            self.failed_sends += 1

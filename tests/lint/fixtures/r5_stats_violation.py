@@ -1,0 +1,14 @@
+# lint-fixture-path: src/repro/serving/supervisor.py
+# R5 violating fixture (stat recording): bumping a counter that does
+# not name a failure is bookkeeping, not accounting -- the request
+# still disappears silently.
+
+
+class Probe:
+    def probe(self, handle):
+        try:
+            ok = handle.ping()
+        except Exception:
+            self.cache_hits += 1
+            ok = False
+        return ok

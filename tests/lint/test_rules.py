@@ -61,6 +61,9 @@ MODULE_RULE_CASES = [
     ("R3", ServingDeterminismRule, "r3_violation.py", "r3_clean.py", 4),
     ("R4", WireDisciplineRule, "r4_violation.py", "r4_clean.py", 3),
     ("R5", ExceptionDisciplineRule, "r5_violation.py", "r5_clean.py", 1),
+    # R5, recovery-machinery variant: counting the failure into a stat
+    # named for failure is accounting; bumping an unrelated counter is not
+    ("R5", ExceptionDisciplineRule, "r5_stats_violation.py", "r5_stats_clean.py", 1),
 ]
 
 
