@@ -13,6 +13,7 @@
 #   make bench-residency data-residency gate (resident storage vs list interchange)
 #   make bench-wire     wire-format-v2 gate (bit-packed residues vs 8-byte words)
 #   make bench-reliability  reliability gates (steady-state overhead + recovery time)
+#   make bench-planner  workload-planner gate (sweep fusion + batch packing vs naive sequential)
 #   make chaos          deterministic chaos suite (kills, corruption, retries) on both backends
 #   make vectors        regenerate the golden fixtures under tests/vectors/
 
@@ -21,7 +22,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-fast test-both lint bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire bench-reliability chaos vectors
+.PHONY: test test-fast test-both lint bench bench-backend bench-batch bench-serving bench-serving-scale bench-hoisting bench-residency bench-wire bench-reliability bench-planner chaos vectors
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -65,6 +66,10 @@ bench-wire:
 
 bench-reliability:
 	$(PYTHON) -m pytest benchmarks/bench_reliability.py -q -s
+
+bench-planner:
+	REPRO_BACKEND=reference $(PYTHON) -m pytest benchmarks/bench_planner.py -q -s
+	REPRO_BACKEND=numpy $(PYTHON) -m pytest benchmarks/bench_planner.py -q -s
 
 chaos:
 	REPRO_BACKEND=reference $(PYTHON) -m pytest tests/serving/test_reliability.py tests/serving/test_supervisor.py -q

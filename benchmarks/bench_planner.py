@@ -1,0 +1,295 @@
+"""Workload planner: sweep fusion + batch packing speedup (ISSUE 10 gate).
+
+The planner's claim is that *scheduling* the op graph -- fusing
+rotation sweeps through one hoisted decomposition, packing independent
+same-shape chains into batch lanes, placing rescales plan-wide --
+recovers the throughput the hand-tuned call sites got, from a declared
+DAG.  The gate measures planner-optimized execution against the naive
+per-op sequential baseline (the same plan, ``optimize=False``: every
+node one scalar evaluator call) on two workloads:
+
+* a 16-step diagonal matvec (``matvec_graph``: a 15-rotation sweep plus
+  diagonal C-P multiplies), and
+* a mixed multi-client op graph (``workload_graph``: four independent
+  dot-product + activation chains, the batch-packing shape).
+
+Acceptance gates (numpy backend, ``n = 1024``, each plan at its
+natural depth -- ``k = 5`` for the matvec's multiply chain, ``k = 3``
+for the mixed lanes):
+
+* planner-optimized >= 2x naive per-op sequential on both workloads;
+* optimized and naive outputs bit-identical on **both** backends;
+* the same measured plan replays through the HEAX module models, so
+  the report shows software-measured time next to modeled-FPGA time
+  for Set-A / Set-B / Set-C (Table 5 architectures).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_planner.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ckks.backend import available_backends, use_backend
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.serialization import serialize_ciphertext
+from repro.plan import PlanExecutor, compile_plan
+from repro.plan.hwsim import PAPER_SET_NAMES, modeled_replays
+from repro.plan.lower import fresh_lane_inputs, matvec_graph, workload_graph
+from repro.system.workload import WorkloadGenerator
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy backend not available on this host",
+)
+
+#: The gated shape: each plan runs at its natural chain depth.
+GATED_N, DIM, LANES = 1024, 16, 4
+PLAN_K = {"matvec16": 5, "mixed": 3}
+
+#: Required speedup, planner-optimized vs naive per-op sequential.
+MIN_SPEEDUP = 2.0
+
+
+def _fixture(n: int, k: int, seed: int = 29):
+    ctx = CkksContext(toy_parameters(n=n, k=k, prime_bits=30))
+    keygen = KeyGenerator(ctx, seed=seed)
+    encryptor = Encryptor(ctx, keygen.public_key(), seed=seed + 1)
+    encoder = CkksEncoder(ctx)
+    galois = keygen.galois_keys(range(1, DIM))
+    executor = PlanExecutor(
+        ctx, relin_key=keygen.relin_key(), galois_keys=galois
+    )
+    return ctx, encoder, encryptor, executor
+
+
+def _matrix() -> np.ndarray:
+    rng = np.random.default_rng(31)
+    return rng.uniform(0.1, 1.0, (DIM, DIM)) / np.sqrt(DIM)
+
+
+def _workload(name: str, n: int):
+    """Build one gated workload at its natural depth.
+
+    Returns ``(ctx, executor, plan, inputs)`` under the active backend.
+    """
+    ctx, encoder, encryptor, executor = _fixture(n, PLAN_K[name])
+    if name == "matvec16":
+        plan = compile_plan(
+            matvec_graph(_matrix())[0], ctx, rescale_outputs=False
+        )
+        packed = np.zeros(encoder.slot_count)
+        packed[: 2 * DIM] = np.resize(np.linspace(-1, 1, DIM), 2 * DIM)
+        inputs = {"x": encryptor.encrypt(encoder.encode(packed))}
+    else:
+        plan = compile_plan(
+            workload_graph(
+                WorkloadGenerator.dot_product(8)
+                + WorkloadGenerator.polynomial_activation(3),
+                LANES,
+                ctx,
+            ),
+            ctx,
+            rescale_outputs=False,
+        )
+        rng = np.random.default_rng(37)
+        inputs = fresh_lane_inputs(
+            plan,
+            lambda _: encryptor.encrypt(
+                encoder.encode(list(rng.uniform(-0.5, 0.5, 8)))
+            ),
+        )
+    return ctx, executor, plan, inputs
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure():
+    """One full measurement pass at the gated shape (numpy backend)."""
+    out = {}
+    with use_backend("numpy"):
+        for name in PLAN_K:
+            ctx, ex, plan, inputs = _workload(name, GATED_N)
+            # warm twiddle/plaintext caches out of the timings
+            ex.run(plan, inputs, optimize=True)
+            ex.run(plan, inputs, optimize=False)
+            out[name] = {
+                "optimized": _best_seconds(
+                    lambda: ex.run(plan, inputs, optimize=True)
+                ),
+                "naive": _best_seconds(
+                    lambda: ex.run(plan, inputs, optimize=False)
+                ),
+                "run": ex.run(plan, inputs, optimize=True),
+                "context": ctx,
+            }
+    return out
+
+
+def _gates_hold(measured) -> bool:
+    return all(
+        m["naive"] / m["optimized"] >= MIN_SPEEDUP for m in measured.values()
+    )
+
+
+def test_planner_speedup_gate(benchmark, emit, emit_json):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    if not _gates_hold(measured):  # timing-noise mitigation: best of two
+        retry = _measure()
+        for name in measured:
+            for key in ("optimized", "naive"):
+                measured[name][key] = min(
+                    measured[name][key], retry[name][key]
+                )
+
+    rows = []
+    for name, m in measured.items():
+        speedup = m["naive"] / m["optimized"]
+        run = m["run"]
+        rows.append(
+            [
+                name,
+                f"{m['naive'] * 1e3:.2f}",
+                f"{m['optimized'] * 1e3:.2f}",
+                f"{speedup:.2f}x",
+                f"{run.sweeps}/{run.fused_rotations}",
+                f"{run.lanes}/{run.packed_ops}",
+            ]
+        )
+        emit_json(
+            op=f"planner_{name}",
+            n=GATED_N,
+            k=PLAN_K[name],
+            backend="numpy",
+            speedup=round(speedup, 3),
+            gate=MIN_SPEEDUP,
+            naive_ms=round(m["naive"] * 1e3, 4),
+            optimized_ms=round(m["optimized"] * 1e3, 4),
+            sweeps=run.sweeps,
+            fused_rotations=run.fused_rotations,
+            batch_lanes=run.lanes,
+            packed_ops=run.packed_ops,
+        )
+    emit(
+        "planner_speedup",
+        render_table(
+            f"Workload planner vs naive per-op sequential "
+            f"(numpy backend, n = {GATED_N}, "
+            f"k = {PLAN_K['matvec16']}/{PLAN_K['mixed']})",
+            [
+                "plan",
+                "naive ms",
+                "optimized ms",
+                "speedup",
+                "sweeps/rotations",
+                "lanes/packed",
+            ],
+            rows,
+            note=f"gate: optimized >= {MIN_SPEEDUP}x naive on both plans; "
+            "bit-identity asserted separately on both backends.",
+        ),
+    )
+
+    for name, m in measured.items():
+        speedup = m["naive"] / m["optimized"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"planner-optimized {name} only {speedup:.2f}x the naive "
+            f"sequential baseline (gate: {MIN_SPEEDUP}x)"
+        )
+
+
+def test_modeled_replay_reports_paper_sets(emit, emit_json):
+    """The same measured plan run, replayed on the Table 5 hardware."""
+    with use_backend("numpy"):
+        ctx, ex, plan, inputs = _workload("matvec16", GATED_N)
+        t0 = time.perf_counter()
+        run = ex.run(plan, inputs, optimize=True)
+        software = time.perf_counter() - t0
+        replays = modeled_replays(run, ctx)
+
+    rows = [
+        [
+            set_name,
+            r.device,
+            f"{r.n}",
+            f"{software * 1e3:.2f}",
+            f"{r.seconds * 1e6:.1f}",
+            f"{r.cycles_by_kind.get('sweep', 0.0) / r.cycles:.0%}",
+        ]
+        for set_name, r in replays.items()
+    ]
+    emit(
+        "planner_modeled_replay",
+        render_table(
+            f"Planner matvec16: software-measured vs modeled FPGA "
+            f"(one plan run, n = {GATED_N}, k = {PLAN_K['matvec16']})",
+            [
+                "set",
+                "device",
+                "arch n",
+                "software ms",
+                "modeled us",
+                "sweep share",
+            ],
+            rows,
+            note="the modeled column replays the measured PlanStep "
+            "stream through the repro.core module simulators "
+            "(hoisted sweeps pay their decomposition once).",
+        ),
+    )
+    for set_name, r in replays.items():
+        emit_json(
+            op="planner_modeled_replay",
+            set=set_name,
+            device=r.device,
+            n=GATED_N,
+            k=PLAN_K["matvec16"],
+            backend="numpy",
+            software_seconds=round(software, 6),
+            modeled_seconds=round(r.seconds, 9),
+        )
+    assert set(replays) == set(PAPER_SET_NAMES)
+    assert all(r.seconds > 0 for r in replays.values())
+    a, b, c = (replays[s].cycles for s in PAPER_SET_NAMES)
+    assert a < b < c  # deeper sets cost more modeled cycles
+
+
+@pytest.mark.parametrize("backend", ["reference", "numpy"])
+def test_planned_bits_equal_naive_bits(backend, emit_json):
+    """The speedup is only admissible because the bits are identical."""
+    if backend not in available_backends():
+        pytest.skip(f"{backend} unavailable")
+    with use_backend(backend):
+        identical = True
+        for name in PLAN_K:
+            ctx, ex, plan, inputs = _workload(name, 64)
+            fast = ex.run(plan, inputs, optimize=True)
+            slow = ex.run(plan, inputs, optimize=False)
+            for out in plan.outputs:
+                identical = identical and serialize_ciphertext(
+                    fast.outputs[out]
+                ) == serialize_ciphertext(slow.outputs[out])
+    emit_json(
+        op="planner_bit_identity",
+        n=64,
+        k=PLAN_K["matvec16"],
+        backend=backend,
+        identical=identical,
+    )
+    assert identical

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Oblivious ML inference: encrypted logistic regression.
+"""Oblivious ML inference: encrypted logistic regression, planner-scheduled.
 
 The paper's motivating application (Section 1): a client sends an
 *encrypted* feature vector to an MLaaS server; the server evaluates its
@@ -9,7 +9,12 @@ decrypt.
 
 The server-side program uses exactly the operations HEAX accelerates:
 ciphertext-plaintext multiplication, rotations (for the dot-product
-reduction), relinearization, and rescaling.
+reduction), relinearization, and rescaling.  Unlike a hand-scheduled
+evaluator script, the program here is *declared* as a
+:class:`repro.plan.PlanGraph` DAG with no rescale in sight: the planner
+(`compile_plan`) places every rescale and level drop, validates the
+scale/level discipline up front, and the executor runs the DAG with
+sweep fusion and batch packing where the dataflow allows.
 
 Run:  python examples/encrypted_inference.py
 """
@@ -21,10 +26,10 @@ from repro.ckks import (
     CkksEncoder,
     Decryptor,
     Encryptor,
-    Evaluator,
     KeyGenerator,
 )
 from repro.ckks.context import toy_parameters
+from repro.plan import PlanExecutor, PlanGraph, compile_plan
 
 #: Degree-3 least-squares fit of the sigmoid on [-6, 6] (a standard
 #: CKKS-friendly approximation; cf. the logistic-regression-over-HE line
@@ -37,15 +42,47 @@ def sigmoid_poly(z: np.ndarray) -> np.ndarray:
     return c0 + c1 * z + c2 * z * z + c3 * z**3
 
 
+def build_inference_graph(dims: int, weights: np.ndarray, bias: float) -> PlanGraph:
+    """The whole inference program as one rescale-free DAG.
+
+    ``score = c0 + z * (c1 + c3 * z^2)`` with ``z = <w, x> + b`` --
+    the Horner-style grouping keeps every coefficient a plain additive
+    constant (``add_const`` encodes at its operand's exact runtime
+    scale), so the planner owns *all* scale management: the graph
+    contains zero rescale nodes and ``compile_plan`` inserts every one.
+    """
+    c0, c1, _, c3 = SIGMOID_COEFFS
+    g = PlanGraph()
+    x = g.input("x")
+
+    # z = <w, x> + b: elementwise C-P multiply, log-depth rotate-and-sum
+    # (each rotation a KeySwitch), plaintext bias add.  The accumulation
+    # runs at product scale -- the planner's lazy-rescale policy, the
+    # same Halevi-Shoup idiom the matvec kernel uses.
+    acc = g.mul_plain(x, g.const(list(weights)))
+    step = 1
+    while step < dims:
+        acc = g.add(acc, g.rotate(acc, step))
+        step *= 2
+    z = g.add_const(acc, g.const(bias))
+
+    # sigmoid(z) ~ c0 + z * (c1 + c3 * z^2)
+    z2 = g.square(z)
+    inner = g.add_const(g.mul_plain(z2, g.const(c3)), g.const(c1))
+    score = g.add_const(g.mul_relin(z, inner), g.const(c0))
+    g.output(score, "score")
+    return g
+
+
 def main() -> None:
-    # Four levels: dot-product mul, square, cube-combine -- each rescaled.
-    params = toy_parameters(n=256, k=4, prime_bits=30, scale=2.0**28)
+    # Five levels: the planner spends them on the C-P product, the
+    # square, the cubic combine, and the output normalization.
+    params = toy_parameters(n=256, k=5, prime_bits=30, scale=2.0**28)
     context = CkksContext(params)
     encoder = CkksEncoder(context)
     keygen = KeyGenerator(context, seed=99)
     encryptor = Encryptor(context, keygen.public_key(), seed=5)
     decryptor = Decryptor(context, keygen.secret_key)
-    evaluator = Evaluator(context)
     relin = keygen.relin_key()
 
     # Rotation keys for the log-depth rotate-and-sum reduction.
@@ -61,6 +98,18 @@ def main() -> None:
     bias = 0.25
 
     # ------------------------------------------------------------------
+    # Server: declare the program, let the planner schedule it.
+    # ------------------------------------------------------------------
+    graph = build_inference_graph(dims, weights, bias)
+    assert graph.op_counts().get("rescale", 0) == 0  # none written by hand
+    plan = compile_plan(graph, context)  # place rescales + validate
+    placed = plan.op_counts().get("rescale", 0)
+    print(
+        f"planner scheduled {len(plan)} nodes "
+        f"({placed} rescales placed, 0 written by hand)"
+    )
+
+    # ------------------------------------------------------------------
     # The query (client-side): one feature vector, encrypted.
     # ------------------------------------------------------------------
     features = rng.uniform(-1, 1, dims)
@@ -68,56 +117,14 @@ def main() -> None:
     print(f"client sent encrypted query with {dims} features")
 
     # ------------------------------------------------------------------
-    # Server: z = <w, x> + b, then sigmoid(z), all on ciphertexts.
+    # Execute: one plan run replaces the hand-written evaluator script.
     # ------------------------------------------------------------------
-    # 1. elementwise w * x (ciphertext-plaintext MULT, the C-P mode of
-    #    the MULT module), then rescale.
-    wx = evaluator.multiply_plain(ct, encoder.encode(weights))
-    wx = evaluator.rescale(wx)
-
-    # 2. rotate-and-sum so slot 0 holds the full dot product (each
-    #    rotation is a KeySwitch on the accelerator).
-    acc = wx
-    step = 1
-    while step < dims:
-        acc = evaluator.add(acc, evaluator.rotate(acc, step, galois))
-        step *= 2
-
-    # 3. + bias (plaintext add at the current scale/level).
-    bias_pt = encoder.encode(bias, scale=acc.scale, level_count=acc.level_count)
-    z_ct = evaluator.add_plain(acc, bias_pt)
-
-    # 4. sigmoid(z) ~ c0 + c1 z + c3 z^3, Horner-free to keep levels flat:
-    #    z2 = z*z (relin+rescale); z3 = z2*z (relin+rescale);
-    #    result = c0 + c1*z + c3*z3 with scales aligned via encoding.
-    c0, c1, _, c3 = SIGMOID_COEFFS
-    z2 = evaluator.rescale(evaluator.relinearize(evaluator.square(z_ct), relin))
-    z_match = evaluator.multiply_plain(
-        z_ct, encoder.encode(1.0, level_count=z_ct.level_count)
-    )
-    z_match = evaluator.rescale(z_match)  # align level/scale with z2
-    z3 = evaluator.rescale(
-        evaluator.relinearize(evaluator.multiply(z2, z_match), relin)
-    )
-
-    c1z = evaluator.rescale(
-        evaluator.multiply_plain(
-            z_ct, encoder.encode(c1, level_count=z_ct.level_count)
-        )
-    )
-    # bring c1*z down to z3's level/scale for the final addition
-    while c1z.level_count > z3.level_count:
-        c1z = evaluator.rescale(
-            evaluator.multiply_plain(
-                c1z, encoder.encode(1.0, scale=float(c1z.moduli[-1].value), level_count=c1z.level_count)
-            )
-        )
-    c3z3 = evaluator.multiply_plain(
-        z3, encoder.encode(c3 / 1.0, scale=c1z.scale / z3.scale, level_count=z3.level_count)
-    )
-    score = evaluator.add(c1z, c3z3)
-    score = evaluator.add_plain(
-        score, encoder.encode(c0, scale=score.scale, level_count=score.level_count)
+    executor = PlanExecutor(context, relin_key=relin, galois_keys=galois)
+    run = executor.run(plan, {"x": ct})
+    score = run.outputs["score"]
+    print(
+        f"executed {run.step_count} schedule steps in "
+        f"{run.compute_seconds * 1e3:.1f} ms (software)"
     )
 
     # ------------------------------------------------------------------

@@ -110,20 +110,26 @@ class BfvContext:
 
         Each operand is reduced into the extended RNS basis, multiplied
         via per-prime NTTs, and CRT-composed back to centered integers.
+        All ring arithmetic runs through the active
+        :class:`~repro.ckks.backend.base.PolynomialBackend` -- the same
+        kernels (and the same vectorization) the CKKS side uses, so the
+        numpy backend accelerates BFV tensoring too.  The per-prime
+        pipeline is exactly :meth:`NTTTables.negacyclic_multiply`:
+        forward NTT both operands, dyadic multiply, inverse NTT.
         """
-        n = self.n
-        out_residues = []
-        for m in self.ext_basis:
+        from repro.ckks.backend import get_backend
+
+        be = get_backend()
+        moduli = list(self.ext_basis)
+        rows_a = be.decompose(moduli, list(a))
+        rows_b = be.decompose(moduli, list(b))
+        out_rows = []
+        for m, ra, rb in zip(moduli, rows_a, rows_b):
             t = self._ext_tables[m.value]
-            ra = [x % m.value for x in a]
-            rb = [x % m.value for x in b]
-            out_residues.append(t.negacyclic_multiply(ra, rb))
-        result = []
-        for i in range(n):
-            result.append(
-                self.ext_basis.compose_centered([r[i] for r in out_residues])
-            )
-        return result
+            fa = be.ntt_forward(t, ra)
+            fb = be.ntt_forward(t, rb)
+            out_rows.append(be.ntt_inverse(t, be.dyadic_mul(m, fa, fb)))
+        return self.ext_basis.compose_centered_rows(out_rows)
 
     def ring_multiply_mod_q(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
         prod = self.exact_negacyclic_multiply(self.centered(a), self.centered(b))

@@ -151,10 +151,15 @@ class LinearEvaluator:
         one multiplicative level.
 
         This is the canonical hoisting workload -- up to ``dim - 1``
-        rotations of the *same* ciphertext -- so all rotations share a
-        single key-switch decomposition (:meth:`Evaluator.rotate_hoisted`);
-        diagonals are extracted with one vectorized gather and all-zero
-        diagonals are skipped (their term is exactly zero).
+        rotations of the *same* ciphertext -- so the default path lowers
+        into the workload planner (:mod:`repro.plan`): the graph's
+        rotation sweep fuses onto a single key-switch decomposition and
+        the planner validates the level/scale discipline before any
+        ciphertext work.  ``use_hoisting=False`` keeps the pre-planner
+        per-rotation loop as the differential/benchmark baseline.
+        Diagonals are extracted with one vectorized gather and all-zero
+        diagonals are skipped (their term is exactly zero); both paths
+        are bit-identical on every backend.
         """
         matrix = np.asarray(matrix, dtype=np.float64)
         dim = matrix.shape[0]
@@ -162,6 +167,8 @@ class LinearEvaluator:
             raise ValueError("matrix must be square")
         if dim > self.encoder.slot_count:
             raise ValueError("matrix larger than slot count")
+        if self.use_hoisting:
+            return self._matvec_planned(matrix, ct, galois_keys)
         # all generalized diagonals in one gather: diags[d, i] = M[i, (i+d) % dim]
         idx = np.arange(dim)
         diags = matrix[idx[None, :], (idx[None, :] + idx[:, None]) % dim]
@@ -184,6 +191,33 @@ class LinearEvaluator:
                 ct, self.encoder.encode([0.0] * dim, level_count=ct.level_count)
             )
         return self.evaluator.rescale(acc)
+
+    def _matvec_planned(
+        self,
+        matrix: np.ndarray,
+        ct: Ciphertext,
+        galois_keys: GaloisKeySet,
+    ) -> Ciphertext:
+        """Lower the diagonal matvec into the planner and execute it.
+
+        The input node is typed with the live ciphertext's level and
+        scale so the checker validates the *actual* chain, and the
+        lowering mirrors the hand-coded dataflow node for node
+        (including the single final rescale), so planner execution is
+        bit-identical to the legacy loop below.
+        """
+        from repro.plan import PlanExecutor, PlanGraph, compile_plan
+        from repro.plan.lower import matvec_graph
+
+        graph = PlanGraph()
+        x = graph.input("x", level_count=ct.level_count, scale=ct.scale)
+        _, out = matvec_graph(matrix, graph=graph, input_node=x)
+        graph.output(out, "y")
+        plan = compile_plan(graph, self.context)
+        run = PlanExecutor(self.context, galois_keys=galois_keys).run(
+            plan, {"x": ct}
+        )
+        return run.outputs["y"]
 
     # ------------------------------------------------------------------
     # affine / polynomial maps

@@ -12,6 +12,7 @@ visitor; this package is the registry the driver and CLI consume.
 | R3 | injectable-clock serving determinism       | PR 6       |
 | R4 | exact-length wire discipline               | PR 3/7     |
 | R5 | serving exception discipline               | PR 3/6     |
+| R6 | planner-fused rotation sweeps              | PR 10      |
 """
 
 from repro.lint.rules.residency import ResidencyRule
@@ -19,6 +20,7 @@ from repro.lint.rules.conformance import BackendConformanceRule
 from repro.lint.rules.determinism import ServingDeterminismRule
 from repro.lint.rules.wire import WireDisciplineRule
 from repro.lint.rules.exceptions import ExceptionDisciplineRule
+from repro.lint.rules.planner import PlannerDisciplineRule
 
 #: Every rule the default driver runs, in id order.
 REGISTERED_RULES = [
@@ -27,6 +29,7 @@ REGISTERED_RULES = [
     ServingDeterminismRule,
     WireDisciplineRule,
     ExceptionDisciplineRule,
+    PlannerDisciplineRule,
 ]
 
 __all__ = [
@@ -36,4 +39,5 @@ __all__ = [
     "ServingDeterminismRule",
     "WireDisciplineRule",
     "ExceptionDisciplineRule",
+    "PlannerDisciplineRule",
 ]

@@ -56,6 +56,10 @@ OP_KEY_KIND = {
     "rescale": None,
     "rotate": "galois",    # op_arg = slot step
     "conjugate": "galois",
+    # a registered multi-op program (op_arg = program id), executed as
+    # one plan; consumes the session's (relin, galois) bundle so its
+    # lane is keyed on the full key material the plan may touch
+    "program": "bundle",
 }
 
 SUPPORTED_OPS = tuple(sorted(OP_KEY_KIND))
@@ -75,8 +79,14 @@ def homogeneity_key(request: PendingRequest) -> GroupKey:
         # the id() ties the lane to the key *object* captured on the
         # request at admission -- the very object the flush consumes --
         # and the request keeps it alive, so the id is stable for the
-        # lane's lifetime even if the session swaps keys meanwhile
-        key_ref = (request.session.key_id, id(request.key))
+        # lane's lifetime even if the session swaps keys meanwhile.
+        # A program's (relin, galois) bundle is identified by its
+        # members: sessions of one tenant share the key objects but
+        # each wraps them in its own bundle tuple, and those requests
+        # must still share a program lane.
+        key = request.key
+        ident = tuple(map(id, key)) if isinstance(key, tuple) else id(key)
+        key_ref = (request.session.key_id, ident)
     else:
         key_ref = None
     return (

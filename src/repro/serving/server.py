@@ -146,6 +146,8 @@ class EncryptedComputeServer:
         self.batch_evaluator = BatchEvaluator(context)
         self.report = ServingReport()
         self._max_frame_bytes = max_frame_bytes
+        #: program id -> normalized step tuple (see register_program)
+        self._programs: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # client lifecycle
@@ -154,6 +156,52 @@ class EncryptedComputeServer:
         """Open a session (see :meth:`SessionManager.register`)."""
         kwargs.setdefault("max_frame_bytes", self._max_frame_bytes)
         return self.sessions.register(client_id, **kwargs)
+
+    # ------------------------------------------------------------------
+    # multi-op programs
+    # ------------------------------------------------------------------
+    def register_program(self, program_id: int, steps) -> tuple:
+        """Register a multi-op program clients invoke as one request.
+
+        ``steps`` is a sequence of either bare op names (``"square"``,
+        ``"rescale"``, ``"conjugate"``, ``"double"``, ``"negate"``) or
+        ``("rotate", step)`` pairs.  A client then submits a single
+        ``op="program"`` request with ``op_arg=program_id``; the whole
+        chain executes as one :class:`repro.plan.PlanGraph` per flush,
+        so the planner packs the flush's independent request chains into
+        batch lanes instead of flushing each step separately.  The
+        program's scale/level discipline is validated by the plan
+        checker at flush time -- an infeasible chain fails loudly.
+        """
+        valid = ("square", "rescale", "rotate", "conjugate", "double", "negate")
+        normalized = []
+        for step in steps:
+            if isinstance(step, str):
+                op, arg = step, 0
+            else:
+                op, arg = step
+            if op not in valid:
+                raise ValueError(
+                    f"unknown program step {op!r}; supported: {', '.join(valid)}"
+                )
+            if op == "rotate" and int(arg) == 0:
+                raise ValueError("rotate step must be nonzero")
+            normalized.append((op, int(arg)))
+        if not normalized:
+            raise ValueError("a program needs at least one step")
+        program = tuple(normalized)
+        self._programs[int(program_id)] = program
+        return program
+
+    def _program_kind(self, steps: tuple) -> str:
+        """ScheduledOp kind of a program flush: keyed by its heaviest
+        stage (key switches dominate rescales dominate dyadic ops)."""
+        ops = {op for op, _ in steps}
+        if ops & {"square", "rotate", "conjugate"}:
+            return "keyswitch"
+        if "rescale" in ops:
+            return "ntt"
+        return "mult"
 
     # ------------------------------------------------------------------
     # ingress
@@ -267,6 +315,32 @@ class EncryptedComputeServer:
             if key is None:
                 self._respond_error(
                     session, frame.request_id, "session has no Galois keys"
+                )
+                return
+        elif key_kind == "bundle":
+            program = self._programs.get(frame.op_arg)
+            if program is None:
+                self._respond_error(
+                    session,
+                    frame.request_id,
+                    f"unknown program id {frame.op_arg}; register it first",
+                )
+                return
+            # the (relin, galois) bundle is one stable-identity object,
+            # so unchanged-key admissions share a program batch lane
+            key = session.key_bundle()
+            ops = {op for op, _ in program}
+            if "square" in ops and key[0] is None:
+                self._respond_error(
+                    session,
+                    frame.request_id,
+                    "program needs a relinearization key; session has none",
+                )
+                return
+            if ops & {"rotate", "conjugate"} and key[1] is None:
+                self._respond_error(
+                    session, frame.request_id,
+                    "program needs Galois keys; session has none",
                 )
                 return
         if self.queue.closed:
@@ -430,6 +504,53 @@ class EncryptedComputeServer:
             return bev.conjugate(batch, key)
         raise ValueError(f"unknown op {op!r}")
 
+    def _run_program(self, group: BatchGroup, requests) -> List[Ciphertext]:
+        """Execute one program flush as a single plan.
+
+        Every live request contributes one independent chain of the
+        registered step sequence; the plan executor packs the parallel
+        chains into batch lanes per step, so an N-wide program flush
+        runs like N-wide batched execution of each step instead of N
+        scalar chains.  The plan checker validates the chain's
+        scale/level discipline up front; a :class:`PlanValidationError`
+        (a ``ValueError``) fails the flush like any infeasible op.
+        """
+        from repro.plan import PlanExecutor, PlanGraph, check_plan
+
+        steps = self._programs[group.op_arg]
+        relin_key, galois_keys = requests[0].key
+        graph = PlanGraph()
+        for i, request in enumerate(requests):
+            ct = request.ciphertext
+            cur = graph.input(
+                f"r{i}", level_count=ct.level_count, scale=ct.scale
+            )
+            for op, arg in steps:
+                if op == "square":
+                    cur = graph.square(cur)
+                elif op == "rotate":
+                    # plan-building, not execution: the executor fuses
+                    # these into one hoisted sweep per flush
+                    cur = graph.rotate(cur, arg)  # lint: disable=R6 -- plan node
+                elif op == "conjugate":
+                    cur = graph.conjugate(cur)
+                elif op == "rescale":
+                    cur = graph.rescale(cur)
+                elif op == "double":
+                    cur = graph.add(cur, cur)
+                else:  # negate -- register_program admits nothing else
+                    cur = graph.negate(cur)
+            graph.output(cur, f"r{i}")
+        check_plan(graph, self.context)
+        executor = PlanExecutor(
+            self.context, relin_key=relin_key, galois_keys=galois_keys
+        )
+        run = executor.run(
+            graph,
+            {f"r{i}": r.ciphertext for i, r in enumerate(requests)},
+        )
+        return [run.outputs[f"r{i}"] for i in range(len(requests))]
+
     def _execute(self, group: BatchGroup) -> int:
         """Run one flush, respond to every member, record accounting."""
         requests = group.requests
@@ -495,6 +616,8 @@ class EncryptedComputeServer:
                     )
                 )
                 results = [rotated[r.op_arg] for r in requests]
+            elif group.op == "program":
+                results = self._run_program(group, requests)
             elif batched:
                 batch = CiphertextBatch.join([r.ciphertext for r in requests])
                 results = self._apply_batched(group, batch).split()
@@ -534,18 +657,38 @@ class EncryptedComputeServer:
             self.report.latencies.append(now - request.enqueued_at)
         # bill PCIe bytes at each request's negotiated wire version, so
         # the modeled transfer equals what actually crossed the wire
-        in_bytes = sum(
-            self._wire_bytes(
-                r.ciphertext.n,
-                r.ciphertext.size,
-                r.ciphertext.level_count,
-                r.session.wire_version,
+        if group.hoisted:
+            # a hoist lane rotates ONE ciphertext by many steps: every
+            # member carries identical payload bytes by lane
+            # construction, and the execution above consumed
+            # requests[0] once -- the shared input crosses PCIe once,
+            # like its key-switch decomposition runs once.  Billing it
+            # per member overstated upload traffic N-fold.
+            r0 = requests[0]
+            in_bytes = self._wire_bytes(
+                r0.ciphertext.n,
+                r0.ciphertext.size,
+                r0.ciphertext.level_count,
+                r0.session.wire_version,
             )
-            for r in requests
-        )
+        else:
+            in_bytes = sum(
+                self._wire_bytes(
+                    r.ciphertext.n,
+                    r.ciphertext.size,
+                    r.ciphertext.level_count,
+                    r.session.wire_version,
+                )
+                for r in requests
+            )
         out_bytes = sum(
             self._wire_bytes(c.n, c.size, c.level_count, r.session.wire_version)
             for r, c in zip(requests, results)
+        )
+        kind = (
+            self._program_kind(self._programs[group.op_arg])
+            if group.op == "program"
+            else _SCHED_KIND[group.op]
         )
         self.report.flushes.append(
             FlushRecord(
@@ -553,7 +696,7 @@ class EncryptedComputeServer:
                 len(requests),
                 seconds,
                 batched,
-                ScheduledOp(_SCHED_KIND[group.op], in_bytes, out_bytes, seconds),
+                ScheduledOp(kind, in_bytes, out_bytes, seconds),
             )
         )
         return len(requests) + rejected + expired

@@ -107,6 +107,24 @@ class ClientSession:
         self.outbox: List[bytes] = []
         self.requests_accepted = 0
         self.requests_rejected = 0
+        self._key_bundle: Optional[tuple] = None
+        self._key_bundle_ids: Optional[tuple] = None
+
+    def key_bundle(self) -> tuple:
+        """The ``(relin_key, galois_keys)`` pair a multi-op program
+        executes under, as one stable-identity object.
+
+        The batcher keys lanes on ``id(request.key)``, so program
+        requests can only share a flush if admissions under unchanged
+        session keys capture the *same* bundle object.  The cached tuple
+        is rebuilt only when either key's identity changes -- the same
+        capture-at-admission semantics as the single-key ops.
+        """
+        current = (id(self.relin_key), id(self.galois_keys))
+        if self._key_bundle is None or self._key_bundle_ids != current:
+            self._key_bundle = (self.relin_key, self.galois_keys)
+            self._key_bundle_ids = current
+        return self._key_bundle
 
     def take_outbox(self) -> List[bytes]:
         """Drain and return the pending response frames."""

@@ -77,6 +77,19 @@ class Workload:
                     remaining[p] -= 1
         return seq
 
+    def to_plan(self, lanes: int, context):
+        """Lower this workload into a planner op-graph.
+
+        Unrolls :meth:`op_sequence` over ``lanes`` independent
+        ciphertext chains (the multi-client picture) with the
+        :class:`BatchWorkloadRunner` primitive mapping; the planner then
+        packs the parallel chains into batch lanes and fuses rotation
+        sweeps.  See :func:`repro.plan.lower.workload_graph`.
+        """
+        from repro.plan.lower import workload_graph
+
+        return workload_graph(self, lanes, context)
+
 
 class WorkloadGenerator:
     """Builds workloads for the application patterns the paper motivates."""

@@ -349,6 +349,170 @@ def run_program(
         }
 
 
+def run_program_planned(
+    program: List[str],
+    backend_name: str,
+    *,
+    n: int = 64,
+    k: int = 3,
+    batch_count: int = 3,
+    base_seed: int = 1000,
+    optimize: bool = True,
+) -> Dict:
+    """Execute a program through the workload planner (plan mode).
+
+    The whole program is lowered into one :class:`repro.plan.PlanGraph`
+    -- ``batch_count`` independent chains, one per batch element -- and
+    executed by :class:`repro.plan.PlanExecutor` (optimized: sweep
+    fusion + batch packing; naive: per-node scalar).  Sampler discipline
+    matches :func:`run_program` exactly: operands are encrypted in
+    step-major order *during graph construction*, so the plan run sees
+    byte-identical ciphertexts and its per-step node results must be
+    bit-identical to the scalar trace.
+
+    Generated programs carry their own rescale schedule, so
+    ``place_rescales`` must be a structural no-op on them -- asserted
+    here -- and the graph goes to the executor checker-validated but
+    otherwise untouched.
+    """
+    from repro.plan import PlanExecutor, PlanGraph, check_plan, place_rescales
+    from repro.plan.lower import matvec_graph
+
+    value_rng = random.Random(base_seed)
+    with use_backend(backend_name):
+        ctx = CkksContext(toy_parameters(n=n, k=k, prime_bits=30))
+        keygen = KeyGenerator(ctx, seed=base_seed + 1)
+        encryptor = Encryptor(ctx, keygen.public_key(), seed=base_seed + 2)
+        encoder = CkksEncoder(ctx)
+        decryptor = Decryptor(ctx, keygen.secret_key)
+        relin_key = keygen.relin_key()
+        slots = ctx.params.slot_count
+        rotate_steps = [ROTATE_STEP]
+        if "matvec" in program:
+            rotate_steps += list(range(1, slots))
+        galois_keys = keygen.galois_keys(rotate_steps, conjugation=True)
+        matvec_matrix = (
+            _matvec_matrix(slots, base_seed) if "matvec" in program else None
+        )
+        delta = ctx.params.scale
+
+        init_values = [
+            np.array(_operand_values(value_rng, slots)) for _ in range(batch_count)
+        ]
+        models = [_ModelState(v) for v in init_values]
+        inputs = {
+            f"x{b}": encryptor.encrypt(encoder.encode(list(v)))
+            for b, v in enumerate(init_values)
+        }
+
+        graph = PlanGraph()
+        chains = [graph.input(f"x{b}") for b in range(batch_count)]
+        # mirror of the evaluator's scale/level arithmetic, used to
+        # encode add/sub operands at the chain's exact runtime scale
+        level, scale = k, float(delta)
+        #: per-step node ids, for the step-wise bit-identity snapshot
+        step_nodes: List[List[int]] = []
+
+        def last_prime() -> int:
+            return ctx.basis_at_level(level).moduli[-1].value
+
+        for idx, op in enumerate(program):
+            operand_vals = None
+            if op in ("add", "sub", "mul_relin"):
+                operand_vals = [
+                    np.array(_operand_values(value_rng, slots))
+                    for _ in range(batch_count)
+                ]
+                enc_scale = scale if op in ("add", "sub") else None
+                for b, v in enumerate(operand_vals):
+                    name = f"op{idx}_b{b}"
+                    inputs[name] = encryptor.encrypt(
+                        encoder.encode(list(v), scale=enc_scale, level_count=level)
+                    )
+                    operand = graph.input(name, level_count=level, scale=enc_scale)
+                    if op == "add":
+                        chains[b] = graph.add(chains[b], operand)
+                    elif op == "sub":
+                        chains[b] = graph.sub(chains[b], operand)
+                    else:
+                        chains[b] = graph.mul_relin(chains[b], operand)
+                if op == "mul_relin":
+                    scale = scale * delta
+            elif op == "mul_plain":
+                operand_vals = [
+                    np.array(_operand_values(value_rng, slots))
+                ] * batch_count
+                shared = graph.const(list(operand_vals[0]))
+                chains = [graph.mul_plain(c, shared) for c in chains]
+                scale = scale * delta
+            elif op == "matvec":
+                operand_vals = [matvec_matrix] * batch_count
+                new_chains = []
+                for c in chains:
+                    _, out_node = matvec_graph(
+                        matvec_matrix, graph=graph, input_node=c
+                    )
+                    new_chains.append(out_node)
+                chains = new_chains
+                scale = (scale * delta) / last_prime()
+                level -= 1
+            elif op in ("rotate", "rotate_hoisted"):
+                chains = [graph.rotate(c, ROTATE_STEP) for c in chains]
+            elif op == "conjugate":
+                chains = [graph.conjugate(c) for c in chains]
+            elif op == "negate":
+                chains = [graph.negate(c) for c in chains]
+            elif op == "rescale":
+                chains = [graph.rescale(c) for c in chains]
+                scale = scale / last_prime()
+                level -= 1
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            for b, model in enumerate(models):
+                model.apply(op, operand_vals[b] if operand_vals else None)
+            step_nodes.append(list(chains))
+        for b, c in enumerate(chains):
+            graph.output(c, f"y{b}")
+
+        # generated programs schedule their own rescales: placement must
+        # not rewrite them
+        placed = place_rescales(graph, ctx, rescale_outputs=False)
+        assert len(placed) == len(graph), (
+            f"place_rescales rewrote a pre-scheduled program graph "
+            f"({len(graph)} -> {len(placed)} nodes) for {program}"
+        )
+        check_plan(graph, ctx)
+
+        executor = PlanExecutor(
+            ctx, relin_key=relin_key, galois_keys=galois_keys
+        )
+        run = executor.run(graph, inputs, optimize=optimize)
+
+        steps = [
+            [
+                [p.residues for p in inputs[f"x{b}"].polys]
+                for b in range(batch_count)
+            ]
+        ]
+        for nodes in step_nodes:
+            steps.append(
+                [
+                    [p.residues for p in run.results[nid].polys]
+                    for nid in nodes
+                ]
+            )
+        decoded = [
+            encoder.decode(decryptor.decrypt(run.outputs[f"y{b}"]))
+            for b in range(batch_count)
+        ]
+        return {
+            "steps": steps,
+            "decoded": decoded,
+            "expected": [m.values for m in models],
+            "run": run,
+        }
+
+
 def _join(cts):
     from repro.ckks.batch import CiphertextBatch
 
@@ -415,4 +579,51 @@ def assert_differential(
             atol=atol,
             err_msg=f"decode of batch element {b} drifted beyond CKKS "
             f"precision for program {program}",
+        )
+
+
+def assert_plan_differential(
+    program: List[str],
+    *,
+    n: int = 64,
+    k: int = 3,
+    batch_count: int = 3,
+    base_seed: int = 1000,
+    atol: float = 0.05,
+) -> None:
+    """Planned execution vs the scalar trace, on both backends.
+
+    The contract of the planner satellite: optimized plan execution
+    (sweep fusion + batch packing) and naive plan execution are
+    bit-identical to the sequential scalar run after *every* program
+    step, on reference and numpy alike -- and the decode still matches
+    the plaintext model.
+    """
+    kwargs = dict(n=n, k=k, batch_count=batch_count, base_seed=base_seed)
+    baseline = run_program(program, "reference", False, **kwargs)
+    runs = {
+        (backend, "plan-opt" if optimize else "plan-naive"): run_program_planned(
+            program, backend, optimize=optimize, **kwargs
+        )
+        for backend in ("reference", "numpy")
+        for optimize in (True, False)
+    }
+    for key, result in runs.items():
+        for step, (got, want) in enumerate(
+            zip(result["steps"], baseline["steps"])
+        ):
+            assert got == want, (
+                f"{key} diverged from the scalar trace at step {step} "
+                f"(op {'init' if step == 0 else program[step - 1]!r}) "
+                f"of program {program}"
+            )
+    for b, (got, want) in enumerate(
+        zip(runs[("reference", "plan-opt")]["decoded"], baseline["expected"])
+    ):
+        np.testing.assert_allclose(
+            got,
+            want,
+            atol=atol,
+            err_msg=f"planned decode of batch element {b} drifted beyond "
+            f"CKKS precision for program {program}",
         )

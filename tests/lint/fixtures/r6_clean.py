@@ -1,0 +1,27 @@
+# lint-fixture-path: src/repro/serving/fixture.py
+# R6 clean fixture: single rotations outside loops are legal, a loop
+# may *build* plan rotate nodes under an inline escape, and a def
+# inside a loop resets the loop context.
+
+
+def rotate_once(ev, ct, keys):
+    return ev.rotate(ct, 1, keys)
+
+
+def build_sweep_plan(graph, input_node, steps):
+    rotated = {}
+    for step in steps:
+        # the graph is the fix, not the bug: the executor fuses these
+        rotated[step] = graph.rotate(input_node, step)  # lint: disable=R6 -- plan node
+    return rotated
+
+
+def make_rotators(ev, keys, steps):
+    rotators = []
+    for step in steps:
+
+        def rotate(ct, _step=step):
+            return ev.rotate(ct, _step, keys)
+
+        rotators.append(rotate)
+    return rotators

@@ -23,6 +23,7 @@ from repro.lint.rules import REGISTERED_RULES
 from repro.lint.rules.conformance import BackendConformanceRule
 from repro.lint.rules.determinism import ServingDeterminismRule
 from repro.lint.rules.exceptions import ExceptionDisciplineRule
+from repro.lint.rules.planner import PlannerDisciplineRule
 from repro.lint.rules.residency import ResidencyRule
 from repro.lint.rules.wire import WireDisciplineRule
 
@@ -64,6 +65,7 @@ MODULE_RULE_CASES = [
     # R5, recovery-machinery variant: counting the failure into a stat
     # named for failure is accounting; bumping an unrelated counter is not
     ("R5", ExceptionDisciplineRule, "r5_stats_violation.py", "r5_stats_clean.py", 1),
+    ("R6", PlannerDisciplineRule, "r6_violation.py", "r6_clean.py", 3),
 ]
 
 

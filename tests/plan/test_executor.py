@@ -1,0 +1,194 @@
+"""PlanExecutor: bit-identity of the two modes, sweep/batch accounting,
+and the CountingBackend regression for the hoisted fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks.backend import CountingBackend
+from repro.ckks.context import CkksContext, toy_parameters
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.serialization import serialize_ciphertext
+from repro.plan.executor import PlanExecutor
+from repro.plan.graph import PlanGraph
+from repro.plan.lower import matvec_graph
+from repro.plan.passes import compile_plan
+
+
+@pytest.fixture(scope="module")
+def executor(plan_context, plan_relin, plan_galois):
+    return PlanExecutor(
+        plan_context, relin_key=plan_relin, galois_keys=plan_galois
+    )
+
+
+def _encrypt(plan_encoder, plan_encryptor, values):
+    return plan_encryptor.encrypt(plan_encoder.encode(values))
+
+
+def _mixed_graph(plan_context):
+    """A matvec spliced with squares and cross-lane adds: sweeps, batch
+    lanes, and scalar stragglers all in one plan."""
+    dim = 8
+    rng = np.random.default_rng(17)
+    matrix = rng.uniform(0.1, 1.0, (dim, dim))
+    g = PlanGraph()
+    x = g.input("x")
+    z = g.input("z")
+    _, y = matvec_graph(matrix, graph=g, input_node=x)
+    sq_x = g.rescale(g.square(x))
+    sq_z = g.rescale(g.square(z))
+    g.output(g.add(sq_x, sq_z), "squares")
+    g.output(y, "matvec")
+    return compile_plan(g, plan_context, rescale_outputs=False)
+
+
+class TestBitIdentity:
+    def test_optimized_equals_naive_bit_for_bit(
+        self, plan_context, plan_encoder, plan_encryptor, executor
+    ):
+        placed = _mixed_graph(plan_context)
+        inputs = {
+            "x": _encrypt(plan_encoder, plan_encryptor, list(np.linspace(-1, 1, 32))),
+            "z": _encrypt(plan_encoder, plan_encryptor, [0.25, -0.5, 0.75]),
+        }
+        fast = executor.run(placed, inputs, optimize=True)
+        slow = executor.run(placed, inputs, optimize=False)
+        assert set(fast.outputs) == set(slow.outputs) == {"squares", "matvec"}
+        for name in fast.outputs:
+            assert serialize_ciphertext(fast.outputs[name]) == serialize_ciphertext(
+                slow.outputs[name]
+            ), f"bit mismatch on output {name!r}"
+        # the optimized run actually exercised both mechanisms
+        assert fast.sweeps >= 1 and fast.fused_rotations >= 2
+        assert slow.sweeps == 0 and slow.scalar_ops == len(slow.steps)
+
+
+class TestSweepAccounting:
+    ROTS = 5
+
+    def _sweep_graph(self):
+        g = PlanGraph()
+        x = g.input("x")
+        for step in range(1, self.ROTS + 1):
+            g.output(g.rotate(x, step), f"r{step}")
+        return g
+
+    def test_fused_sweep_bills_shared_decompose_once(
+        self, plan_context, plan_encoder, plan_encryptor, executor
+    ):
+        g = self._sweep_graph()
+        ct = _encrypt(plan_encoder, plan_encryptor, [1.0, 2.0, 3.0])
+        run = executor.run(g, {"x": ct}, optimize=True)
+        assert run.sweeps == 1 and run.fused_rotations == self.ROTS
+        (step,) = run.steps
+        assert step.mode == "sweep" and step.rotations == self.ROTS
+        assert step.scheduled.kind == "keyswitch"
+        # the shared input crosses once; outputs bill per rotation
+        assert step.scheduled.output_bytes == self.ROTS * step.scheduled.input_bytes
+
+    def test_naive_sweep_bills_every_rotation_in_full(
+        self, plan_context, plan_encoder, plan_encryptor, executor
+    ):
+        g = self._sweep_graph()
+        ct = _encrypt(plan_encoder, plan_encryptor, [1.0, 2.0, 3.0])
+        run = executor.run(g, {"x": ct}, optimize=False)
+        assert run.sweeps == 0 and len(run.steps) == self.ROTS
+        for step in run.steps:
+            assert step.mode == "scalar"
+            assert step.scheduled.input_bytes == step.scheduled.output_bytes
+
+    def test_hoisted_fanout_runs_once_on_counting_backend(self):
+        """The transform-count regression: an optimized 3-rotation sweep
+        pays ONE decomposition fan-out (L INTT + L^2 NTT rows), the
+        naive run pays it per rotation."""
+        L, R = 3, 3
+        be = CountingBackend("reference")
+        ctx = CkksContext(toy_parameters(n=64, k=L, prime_bits=30), backend=be)
+        kg = KeyGenerator(ctx, seed=91)
+        enc = Encryptor(ctx, kg.public_key(), seed=92)
+        ct = enc.encrypt(CkksEncoder(ctx).encode([0.5, -0.5]))
+        ex = PlanExecutor(ctx, galois_keys=kg.galois_keys(range(1, R + 1)))
+        g = PlanGraph()
+        x = g.input("x")
+        for step in range(1, R + 1):
+            g.output(g.rotate(x, step), f"r{step}")
+
+        be.reset()
+        ex.run(g, {"x": ct}, optimize=True)
+        assert be.counts["ntt_inverse"] == L + 2 * R
+        assert be.counts["ntt_forward"] == L * L + 2 * L * R
+
+        be.reset()
+        ex.run(g, {"x": ct}, optimize=False)
+        assert be.counts["ntt_inverse"] == R * (L + 2)
+        assert be.counts["ntt_forward"] == R * (L * L + 2 * L)
+
+
+class TestBatchPacking:
+    def test_independent_squares_pack_into_one_lane(
+        self, plan_context, plan_encoder, plan_encryptor, executor
+    ):
+        n_lanes = 4
+        g = PlanGraph()
+        for i in range(n_lanes):
+            g.output(g.square(g.input(f"x{i}")), f"y{i}")
+        inputs = {
+            f"x{i}": _encrypt(plan_encoder, plan_encryptor, [0.1 * (i + 1)])
+            for i in range(n_lanes)
+        }
+        run = executor.run(g, inputs, optimize=True)
+        assert run.lanes == 1 and run.packed_ops == n_lanes
+        (step,) = run.steps
+        assert step.mode == "batch" and step.width == n_lanes
+
+    def test_mixed_shapes_do_not_share_a_lane(
+        self, plan_context, plan_encoder, plan_encryptor, executor
+    ):
+        g = PlanGraph()
+        g.output(g.square(g.input("a")), "ya")
+        g.output(g.square(g.input("b", level_count=3)), "yb")
+        ct_a = _encrypt(plan_encoder, plan_encryptor, [0.5])
+        ct_b = executor.evaluator.rescale(
+            executor.evaluator.multiply_plain(
+                _encrypt(plan_encoder, plan_encryptor, [0.5]),
+                plan_encoder.encode(1.0),
+            )
+        )
+        run = executor.run(g, {"a": ct_a, "b": ct_b}, optimize=True)
+        assert run.lanes == 0 and run.scalar_ops == 2
+
+
+class TestKeyAndInputDiscipline:
+    def test_missing_relin_key_rejected(self, plan_context, plan_galois):
+        ex = PlanExecutor(plan_context, galois_keys=plan_galois)
+        g = PlanGraph()
+        g.square(g.input("x"))
+        with pytest.raises(ValueError, match="no\\s+relinearization key"):
+            ex.run(g, {})
+
+    def test_missing_galois_keys_rejected(self, plan_context, plan_relin):
+        ex = PlanExecutor(plan_context, relin_key=plan_relin)
+        g = PlanGraph()
+        g.rotate(g.input("x"), 1)
+        with pytest.raises(ValueError, match="no Galois keys"):
+            ex.run(g, {})
+
+    def test_missing_input_rejected(
+        self, executor, plan_encoder, plan_encryptor
+    ):
+        g = PlanGraph()
+        g.output(g.negate(g.input("x")), "y")
+        with pytest.raises(ValueError, match="inputs not supplied: x"):
+            executor.run(g, {})
+
+    def test_extra_input_rejected(
+        self, executor, plan_encoder, plan_encryptor
+    ):
+        g = PlanGraph()
+        g.output(g.negate(g.input("x")), "y")
+        ct = _encrypt(plan_encoder, plan_encryptor, [1.0])
+        with pytest.raises(ValueError, match="unknown plan inputs: ghost"):
+            executor.run(g, {"x": ct, "ghost": ct})
